@@ -1,0 +1,29 @@
+# Convenience targets for the Triad reproduction.
+
+.PHONY: install test bench reproduce figures clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-verbose:
+	pytest benchmarks/ --benchmark-only -s
+
+reproduce:
+	python examples/reproduce_paper.py
+
+figures:
+	python -m repro run fig2 --export out/fig2
+	python -m repro run fig3 --export out/fig3
+	python -m repro run fig4 --export out/fig4
+	python -m repro run fig5 --export out/fig5
+	python -m repro run fig6 --export out/fig6
+
+clean:
+	rm -rf out .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,71 @@
+"""ABL-CAL — §III-C design-choice ablation: calibration estimators.
+
+The paper argues that calibrating F from mean(ΔTSC/s) alone "would always
+overestimate the TSC's increment rate, i.e., slow the TEE's perceived clock
+speed", and that the regression over multiple waittimes compensates the
+network-delay offset. This benchmark quantifies both claims, plus the
+sample-count sensitivity of the regression estimator.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import summarize
+from repro.experiments.figures import calibration_ablation
+
+
+def test_mean_only_overestimates(benchmark):
+    result = benchmark.pedantic(
+        lambda: calibration_ablation(seed=9, rounds=8), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    # The strawman's bias: strictly positive, on the order of rtt/sleep
+    # (median RTT ≈ 300 µs over 1 s sleeps → ≈ +300 ppm).
+    assert result.mean_only_error_ppm > 100
+    # Regression error is honest jitter only: an order of magnitude less.
+    assert abs(result.regression_error_ppm) < result.mean_only_error_ppm / 3
+    # And the biased estimate means a *slow* clock: 1/(1+eps) < 1.
+    assert result.mean_only_frequency_hz > result.true_frequency_hz
+
+
+def test_mean_only_bias_systematic_across_seeds(benchmark):
+    """Every seed shows the same sign of error — it is bias, not noise."""
+
+    def run_sweep():
+        return [calibration_ablation(seed=100 + i, rounds=4) for i in range(6)]
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    mean_only_errors = [r.mean_only_error_ppm for r in results]
+    regression_errors = [r.regression_error_ppm for r in results]
+    rows = [
+        ["mean-only", f"{min(mean_only_errors):+.0f}", f"{max(mean_only_errors):+.0f}"],
+        ["regression", f"{min(regression_errors):+.0f}", f"{max(regression_errors):+.0f}"],
+    ]
+    print()
+    print(format_table(["estimator", "min_err_ppm", "max_err_ppm"], rows,
+                       title="ABL-CAL error ranges over 6 seeds"))
+    assert all(error > 0 for error in mean_only_errors)
+    # Regression errors straddle zero (unbiased): not all one sign, or at
+    # least far smaller in magnitude.
+    assert min(abs(e) for e in regression_errors) < min(mean_only_errors)
+
+
+def test_more_rounds_tighten_regression(benchmark):
+    """Averaging more exchanges narrows the regression's error spread."""
+
+    def sweep(rounds):
+        errors = []
+        for seed in range(200, 212):
+            result = calibration_ablation(seed=seed, rounds=rounds)
+            errors.append(result.regression_error_ppm)
+        return errors
+
+    few = benchmark.pedantic(lambda: sweep(2), rounds=1, iterations=1)
+    many = sweep(12)
+    spread_few = summarize(few).std
+    spread_many = summarize(many).std
+    print(f"\nregression error spread: rounds=2 -> {spread_few:.1f} ppm, "
+          f"rounds=12 -> {spread_many:.1f} ppm")
+    assert spread_many < spread_few

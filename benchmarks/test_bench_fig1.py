@@ -1,0 +1,45 @@
+"""FIG1 — Fig. 1a/1b: CDFs of inter-AEX delays in both environments.
+
+Paper series: Fig. 1a steps at exactly {10 ms, 532 ms, 1.59 s}, one third
+each; Fig. 1b concentrates around 5.4-minute delays on the isolated core.
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+import pytest
+
+from repro.analysis.stats import cdf_at, empirical_cdf
+from repro.experiments.figures import figure1
+from repro.sim.units import MILLISECOND, MINUTE, SECOND
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figure1(seed=1, samples=10_000)
+
+
+def test_fig1a_triad_like_cdf(benchmark):
+    result = benchmark.pedantic(lambda: figure1(seed=1, samples=10_000), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    delays = result.triad_like_delays_ns
+    values, fractions = result.triad_like_cdf()
+    # The three paper steps, one third of the mass each.
+    assert cdf_at(delays, 10 * MILLISECOND) == pytest.approx(1 / 3, abs=0.02)
+    assert cdf_at(delays, 532 * MILLISECOND) == pytest.approx(2 / 3, abs=0.02)
+    assert cdf_at(delays, 1_590 * MILLISECOND) == 1.0
+    assert cdf_at(delays, 9 * MILLISECOND) == 0.0
+    # CDF well-formed.
+    assert values == sorted(values)
+    assert fractions[-1] == 1.0
+
+
+def test_fig1b_low_aex_cdf(benchmark, fig1):
+    benchmark.pedantic(fig1.low_aex_cdf, rounds=1, iterations=1)
+    delays = fig1.low_aex_delays_ns
+    # Most AEXs occur every ~5.4 minutes (the paper's phrasing).
+    near_mode = cdf_at(delays, int(5.6 * MINUTE)) - cdf_at(delays, int(5.2 * MINUTE))
+    assert near_mode > 0.7
+    # A minority of short residual interruptions below 2 minutes.
+    short = cdf_at(delays, 2 * MINUTE)
+    assert 0.05 < short < 0.25
+    assert min(delays) >= SECOND

@@ -1,0 +1,57 @@
+"""FIG5 — Fig. 5: F+ attack on Node 3 with Triad-like AEXs everywhere.
+
+Paper shape: F₃ᶜᵃˡ ≈ 3191.210 MHz again (AEX environment does not change
+the calibration tilt — the paper measures a 4·10⁻⁶ relative difference from
+Fig. 4's value); but now Node 3's drift *oscillates* between its peers'
+drift (adopted after every AEX) and ≈ −150 ms reached on its own slow clock
+between AEXs. The attack does not propagate to honest nodes.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure4, figure5
+from repro.sim.units import MILLISECOND, MINUTE
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return figure5(seed=5, duration_ns=10 * MINUTE)
+
+
+def test_fig5_oscillating_drift(benchmark, fig5):
+    benchmark.pedantic(lambda: figure5(seed=15, duration_ns=3 * MINUTE), rounds=1, iterations=1)
+    print()
+    print(fig5.render("Fig 5: F+ on node-3 (Triad-like AEXs everywhere)"))
+
+    # Same calibration tilt as Fig 4 (the paper: 4e-6 relative difference).
+    assert fig5.victim_frequency_skew() == pytest.approx(1.1, rel=2e-3)
+
+    # Oscillation floor: between AEXs the victim sinks to about -150 ms
+    # (the longest Triad-like gap, 1.59 s, times -91 ms/s ≈ -145 ms).
+    floor_ms = fig5.victim_min_drift_ms()
+    print(f"victim oscillation floor: {floor_ms:.1f} ms (paper: about -150)")
+    assert -220 < floor_ms < -110
+
+    # ...but it keeps being pulled back up by peer untaints: the final
+    # drift is nowhere near the unbounded Fig 4 case.
+    assert fig5.drift(3).final_drift_ns() > -250 * MILLISECOND
+
+    # Honest nodes unaffected.
+    for index in (1, 2):
+        assert abs(fig5.drift(index).final_drift_ns()) < 100 * MILLISECOND
+
+
+def test_fig5_vs_fig4_aex_rate_bounds_the_attack(benchmark, fig5):
+    """Cross-figure claim: frequent AEXs bound the F+ damage; rare AEXs
+    let it run away (|drift| ratio of orders of magnitude)."""
+    fig4 = benchmark.pedantic(
+        lambda: figure4(seed=4, duration_ns=10 * MINUTE), rounds=1, iterations=1
+    )
+    bounded = abs(fig5.drift(3).final_drift_ns())
+    unbounded = abs(fig4.drift(3).final_drift_ns())
+    print(f"fig5 victim |drift| {bounded / 1e6:.1f} ms vs fig4 {unbounded / 1e6:.1f} ms")
+    assert unbounded > 20 * bounded
+
+    # And the victim's AEX count tells the story.
+    assert fig5.experiment.node(3).stats.aex_count > 100
+    assert fig4.experiment.node(3).stats.aex_count <= 5

@@ -1,0 +1,60 @@
+"""TAB-A1 — §IV-A1: INC-instruction counts per 15·10⁶-tick TSC window.
+
+Paper numbers (10 000 windows, TSC 2899.999 MHz, core 3500 MHz):
+raw mean 632 181 INC, σ 109.5; after removing two outliers (621 448 warm-up
+and 630 012): mean 632 182, σ 2.9, range 10 INC.
+"""
+
+import pytest
+
+from repro.experiments.figures import inc_monitor_experiment
+
+
+def test_inc_monitor_table(benchmark):
+    result = benchmark.pedantic(
+        lambda: inc_monitor_experiment(seed=8, samples=10_000), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    # Raw statistics: the warm-up outlier dominates the standard deviation.
+    assert result.raw.count == 10_000
+    assert result.raw.mean == pytest.approx(632_181, abs=3)
+    assert result.raw.std == pytest.approx(109.5, abs=5)
+
+    # Cleaned statistics: the tight steady-state band of the paper.
+    assert result.cleaned.mean == pytest.approx(632_182, abs=2)
+    assert result.cleaned.std == pytest.approx(2.9, abs=0.3)
+    assert result.cleaned.value_range <= 10
+
+    # The two outliers the paper identifies.
+    assert 621_448 in result.outliers
+    assert 630_012 in result.outliers
+
+
+def test_inc_monitor_detects_one_permille_rate_change(benchmark):
+    """The range-10 band means even 0.1% TSC rescaling (632 INC shift)
+    stands out by two orders of magnitude — RQ A.1's conclusion."""
+    from repro.hardware.cpu import CpuCore
+    from repro.hardware.monitor import IncMonitor
+    from repro.hardware.tsc import TimestampCounter
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=9)
+    tsc = TimestampCounter(sim)
+    monitor = IncMonitor(sim, tsc, CpuCore(index=0), rng_name="detect")
+    box = {}
+
+    def runner():
+        box["calib"] = yield from monitor.calibrate(samples=16)
+        tsc.set_scale(1.001)
+        box["post"] = yield from monitor.measure()
+
+    def run_experiment():
+        sim.process(runner())
+        sim.run()
+
+    benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    deviation = monitor.check(box["post"], box["calib"])
+    assert deviation is not None
+    assert abs(deviation) > 500

@@ -1,0 +1,107 @@
+"""EXT-KERNEL — simulation-substrate performance.
+
+Not a paper artefact: throughput numbers for the discrete-event kernel
+and the full protocol stack, so adopters can budget experiment wall time
+(see docs/simulation.md §5). Unlike the figure benches these use repeated
+rounds — they measure the library, not a scenario.
+"""
+
+import pytest
+
+from repro.sim import Simulator, units
+
+
+def test_kernel_timeout_throughput(benchmark):
+    """Raw event scheduling: a chain of timeouts."""
+
+    def run_chain():
+        sim = Simulator(seed=0)
+
+        def chain():
+            for _ in range(10_000):
+                yield sim.timeout(1)
+
+        sim.process(chain())
+        sim.run()
+        return sim.now
+
+    result = benchmark(run_chain)
+    assert result == 10_000
+
+
+def test_kernel_concurrent_processes(benchmark):
+    """1 000 interleaved processes advancing in lock-step."""
+
+    def run_fleet():
+        sim = Simulator(seed=0)
+
+        def worker(step):
+            for _ in range(50):
+                yield sim.timeout(step)
+
+        for i in range(1_000):
+            sim.process(worker(i % 7 + 1))
+        sim.run()
+        return sim.now
+
+    benchmark(run_fleet)
+
+
+def test_network_message_throughput(benchmark):
+    """Sealed round trips across the simulated network."""
+    from repro.net import ConstantDelay, Network, SecureEndpoint
+
+    def run_pingpong():
+        sim = Simulator(seed=0)
+        net = Network(sim, default_delay=ConstantDelay(1000))
+        alice = SecureEndpoint(sim, net, "alice")
+        bob = SecureEndpoint(sim, net, "bob")
+        alice.register_peer(bob)
+        bob.register_peer(alice)
+
+        def bob_loop():
+            for _ in range(500):
+                envelope = yield bob.recv()
+                bob.send("alice", envelope.message)
+
+        def alice_loop():
+            for i in range(500):
+                alice.send("bob", i)
+                yield alice.recv()
+
+        sim.process(bob_loop())
+        sim.process(alice_loop())
+        sim.run()
+        return alice.socket.received_count
+
+    count = benchmark(run_pingpong)
+    assert count == 500
+
+
+def test_cluster_simulation_rate(benchmark):
+    """Protocol-stack rate: simulated seconds per wall second for the
+    default 3-node cluster under Triad-like AEXs."""
+    from repro.core import ClusterConfig, TriadCluster, TriadNodeConfig
+    from repro.hardware import TriadLikeAexDelays
+    from repro.net import ConstantDelay
+
+    def run_minute():
+        sim = Simulator(seed=1)
+        cluster = TriadCluster(
+            sim,
+            ClusterConfig(
+                delay_model=ConstantDelay(100 * units.MICROSECOND),
+                node_config=TriadNodeConfig(
+                    calibration_rounds=1,
+                    calibration_sleeps_ns=(0, 100 * units.MILLISECOND),
+                    monitor_calibration_samples=4,
+                ),
+            ),
+        )
+        for core in cluster.monitoring_cores:
+            cluster.machine.add_aex_source(core, TriadLikeAexDelays())
+        sim.run(until=units.MINUTE)
+        return cluster.node(1).stats.aex_count
+
+    aex_count = benchmark(run_minute)
+    assert aex_count > 50

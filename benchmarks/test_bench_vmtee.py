@@ -1,0 +1,128 @@
+"""EXT-VMTEE — §II-B: outcomes of the same TSC attack across TEE designs.
+
+The paper motivates Triad as "getting closer to the guarantees provided by
+VM-level trusted time mechanisms, but using CPU-level TEEs with a smaller
+TCB". This benchmark makes the comparison concrete: one hypervisor TSC
+manipulation, four victims —
+
+1. a raw (pre-Triad SGX) TSC consumer: silently wrong time;
+2. a Triad node: the INC monitor detects the manipulation and a full
+   recalibration restores correct time after a bounded transient;
+3. an Intel TDX guest: the manipulation attempt is surfaced as an error
+   on TD entry, time never corrupted;
+4. an AMD SEV-SNP SecureTSC guest: the manipulation has no effect at all.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.sim import Simulator, units
+from repro.vmtee import SecureTscClock, TdxTscViolation, TdxVirtualTsc
+
+from tests.core.conftest import build_cluster
+
+SCALE = 1.05
+
+
+def test_tsc_attack_outcomes_across_designs(benchmark):
+    def run_comparison():
+        outcome = {}
+
+        # 1. Raw TSC consumer: believes ticks/F blindly.
+        sim = Simulator(seed=170)
+        from repro.hardware.tsc import TimestampCounter
+
+        raw = TimestampCounter(sim, frequency_hz=1_000_000_000)
+        sim.run(until=10 * units.SECOND)
+        raw.set_scale(SCALE)
+        sim.run(until=70 * units.SECOND)
+        raw_time = raw.read()  # interpreted at nominal frequency
+        outcome["raw-sgx-tsc"] = ("silently wrong", abs(raw_time - sim.now))
+
+        # 2. Triad node: monitor detects, recalibrates, recovers.
+        sim2, cluster = build_cluster(seed=171)
+        sim2.run(until=10 * units.SECOND)
+        cluster.machine.tsc.set_scale(SCALE)
+        sim2.run(until=70 * units.SECOND)
+        node = cluster.node(1)
+        outcome["triad"] = (
+            f"detected ({node.stats.monitor_alerts} alerts, recalibrated)",
+            abs(node.drift_ns()),
+        )
+        assert node.stats.monitor_alerts >= 1
+        assert len(node.stats.full_calibrations) >= 2
+
+        # 3. TDX: attempt surfaces as an error; clock never corrupted.
+        sim3 = Simulator(seed=172)
+        tdx = TdxVirtualTsc(sim3, frequency_hz=1_000_000_000)
+        sim3.run(until=10 * units.SECOND)
+        tdx.hypervisor_scale(SCALE)
+        sim3.run(until=70 * units.SECOND)
+        try:
+            tdx.read()
+            detected = False
+        except TdxTscViolation:
+            detected = True
+        error_after = abs(tdx.read() - sim3.now)  # next read is clean
+        outcome["intel-tdx"] = (f"violation raised: {detected}", error_after)
+        assert detected
+
+        # 4. SecureTSC: no effect whatsoever.
+        sim4 = Simulator(seed=173)
+        sev = SecureTscClock(sim4, guest_frequency_hz=1_000_000_000)
+        sim4.run(until=10 * units.SECOND)
+        sev.host_write_scale(SCALE)
+        sim4.run(until=70 * units.SECOND)
+        outcome["amd-securetsc"] = ("unaffected", abs(sev.guest_read() - sim4.now))
+        return outcome
+
+    outcome = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["design", "outcome", "time_error_ms"],
+        [[name, desc, f"{err / 1e6:.3f}"] for name, (desc, err) in outcome.items()],
+        title=f"EXT-VMTEE: hypervisor TSC rescale x{SCALE} across TEE designs",
+    ))
+
+    raw_error = outcome["raw-sgx-tsc"][1]
+    triad_error = outcome["triad"][1]
+    tdx_error = outcome["intel-tdx"][1]
+    sev_error = outcome["amd-securetsc"][1]
+
+    # Raw: ~5% of 60 s = 3 s of error. Triad: bounded transient, then
+    # re-tracking. TDX/SEV: none (quantization only).
+    assert raw_error > units.SECOND
+    assert triad_error < raw_error / 10
+    assert tdx_error < units.MILLISECOND
+    assert sev_error < units.MILLISECOND
+
+
+def test_triad_recovery_transient_is_bounded(benchmark):
+    """Triad's worst-case error window after a TSC attack is one monitor
+    interval plus the recalibration time — quantify it."""
+
+    def run():
+        sim, cluster = build_cluster(seed=174)
+        sim.run(until=10 * units.SECOND)
+        node = cluster.node(1)
+        cluster.machine.tsc.set_scale(SCALE)
+        attack_at = sim.now
+        worst = 0
+        # Fine-grained sampling: the transient lives between the attack
+        # and the next monitor window (sub-second with default settings).
+        while sim.now < attack_at + 60 * units.SECOND:
+            sim.run(until=sim.now + 50 * units.MILLISECOND)
+            if node.clock.calibrated:
+                worst = max(worst, abs(node.drift_ns()))
+        return worst, abs(node.drift_ns()), node.stats.monitor_alerts
+
+    worst, final, alerts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nworst transient drift {worst / 1e6:.1f} ms, final {final / 1e6:.3f} ms, "
+          f"alerts {alerts}")
+    assert alerts >= 1
+    # The transient is real (the 5% skew runs until detection)...
+    assert worst > units.MILLISECOND
+    # ...but bounded to roughly one monitor interval of miscounting.
+    assert worst < units.SECOND
+    # Recovered to well under the transient after recalibration.
+    assert final < worst / 5

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""What a time attack does to real applications.
+
+The paper motivates trusted time through use cases: timestamping
+authorities, resource leases, BFT timeouts (§I). This example runs all
+three *on top of* a Triad cluster while a single compromised node launches
+the F− attack — then shows the application-level carnage, and the same
+workload surviving on the §V hardened protocol.
+
+Run:  python examples/applications_under_attack.py
+"""
+
+import hashlib
+
+from repro.analysis import format_table
+from repro.apps import (
+    HeartbeatSource,
+    LeaseAuditor,
+    LeaseManager,
+    TimestampingAuthority,
+    TimeoutWatchdog,
+    TokenVerifier,
+    VerificationReport,
+)
+from repro.experiments import scenarios
+from repro.sim import units
+
+DURATION = 3 * units.MINUTE
+SWITCH = 30 * units.SECOND
+
+
+def run(experiment_factory, label):
+    experiment = experiment_factory(seed=340, switch_at_ns=SWITCH)
+    sim = experiment.sim
+    sim.run(until=10 * units.SECOND)
+    node = experiment.node(1)  # an HONEST node — infection comes to it
+
+    tsa = TimestampingAuthority(node)
+    verifier = TokenVerifier(sim, tsa, future_tolerance_ns=units.SECOND)
+    token_report = VerificationReport()
+
+    def notary():
+        index = 0
+        while True:
+            token = tsa.issue(hashlib.sha256(str(index).encode()).digest())
+            if token is not None:
+                verifier.verify(token, token_report)
+            index += 1
+            yield sim.timeout(2 * units.SECOND)
+
+    sim.process(notary())
+
+    manager = LeaseManager(node)
+
+    def lessor():
+        while True:
+            manager.acquire("db-shard", "tenant", 20 * units.SECOND)
+            yield sim.timeout(units.SECOND)
+
+    sim.process(lessor())
+
+    watchdog = TimeoutWatchdog(
+        sim, node, deadline_ns=2 * units.SECOND,
+        poll_interval_ns=100 * units.MILLISECOND,
+    )
+    HeartbeatSource(sim, watchdog, interval_ns=500 * units.MILLISECOND)
+
+    sim.run(until=DURATION)
+    violations = LeaseAuditor().audit(manager)
+    return {
+        "label": label,
+        "tokens flagged post-dated": token_report.post_dated,
+        "lease double-grants": len(violations),
+        "worst lease overlap": f"{max((v.overlap_ns for v in violations), default=0) / 1e9:.1f}s",
+        "spurious leader changes": watchdog.stats.spurious_timeouts,
+        "node drift at end": f"{node.drift_ns() / 1e9:+.1f}s",
+    }
+
+
+def main() -> None:
+    print(__doc__)
+    print("running the workload on the ORIGINAL protocol under F- attack...")
+    baseline = run(scenarios.fminus_propagation, "original Triad")
+    print("running the same workload on the HARDENED protocol...")
+    hardened = run(scenarios.hardened_fminus_propagation, "S5 hardened")
+
+    keys = [key for key in baseline if key != "label"]
+    rows = [[key, baseline[key], hardened[key]] for key in keys]
+    print()
+    print(format_table(
+        ["metric", baseline["label"], hardened["label"]],
+        rows,
+        title=f"Application damage after {DURATION / 1e9:.0f}s "
+              f"(TSA notarizing, lease manager granting, watchdog watching)",
+    ))
+    print(
+        "\nthe point: the node under attack here is HONEST — its own OS, its"
+        "\nown TEE, all uncompromised. One compromised peer elsewhere in the"
+        "\ncluster was enough to post-date its notarizations, double-grant"
+        "\nits leases, and depose its live leader. The S5 hardening confines"
+        "\nthe same attacker to zero application-visible damage."
+    )
+
+
+if __name__ == "__main__":
+    main()

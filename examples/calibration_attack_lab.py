@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Calibration attack lab: sweep the F± delay and watch the tilt formula.
+
+Triad calibrates the TSC rate by regressing TSC increments over requested
+TA waittimes s ∈ {0, 1 s}. An attacker adding delay d to one sleep group
+tilts the slope by exactly d / (s_hi − s_lo):
+
+    F+  (delay the 1 s group):  F_calib = F_tsc · (1 + d)   → clock slows
+    F−  (delay the 0 s group):  F_calib = F_tsc · (1 − d)   → clock races
+
+This lab sweeps d for both attack directions, measures the calibrated
+frequency and resulting drift rate at the victim, and compares each against
+the closed-form prediction. It finishes with the §III-C ablation: what
+happens if calibration naively used mean(ΔTSC/s) instead of regression.
+
+Run:  python examples/calibration_attack_lab.py
+"""
+
+from repro.analysis import format_table
+from repro.analysis.stats import drift_rate_ms_per_s
+from repro.attacks import AttackMode, CalibrationDelayAttacker
+from repro.core import ClusterConfig, TA_NAME, TriadCluster, TriadNodeConfig
+from repro.experiments import calibration_ablation
+from repro.sim import Simulator, units
+
+
+def run_attack(mode: AttackMode, delay_ms: int, seed: int = 7) -> tuple[float, float]:
+    """One attacked calibration; returns (F_calib/F_tsc, drift ms/s)."""
+    sim = Simulator(seed=seed)
+    cluster = TriadCluster(
+        sim,
+        ClusterConfig(node_config=TriadNodeConfig(calibration_rounds=2)),
+    )
+    attacker = CalibrationDelayAttacker(
+        sim,
+        victim_host="node-3",
+        ta_host=TA_NAME,
+        mode=mode,
+        added_delay_ns=delay_ms * units.MILLISECOND,
+    )
+    cluster.network.add_adversary(attacker)
+
+    # Let calibration finish, then measure the victim's free-running drift.
+    sim.run(until=30 * units.SECOND)
+    node = cluster.node(3)
+    samples = []
+
+    def probe():
+        while True:
+            yield sim.timeout(units.SECOND)
+            samples.append((sim.now, node.drift_ns()))
+
+    sim.process(probe())
+    sim.run(until=90 * units.SECOND)
+    skew = node.stats.latest_frequency_hz / cluster.machine.tsc.frequency_hz
+    return skew, drift_rate_ms_per_s(samples)
+
+
+def main() -> None:
+    print(__doc__)
+    rows = []
+    for mode in (AttackMode.F_PLUS, AttackMode.F_MINUS):
+        for delay_ms in (10, 50, 100, 200):
+            sign = 1 if mode is AttackMode.F_PLUS else -1
+            predicted_skew = 1 + sign * delay_ms / 1000
+            predicted_drift = (1 / predicted_skew - 1) * 1000
+            skew, drift = run_attack(mode, delay_ms)
+            rows.append(
+                [
+                    mode.value,
+                    delay_ms,
+                    f"{predicted_skew:.3f}",
+                    f"{skew:.4f}",
+                    f"{predicted_drift:+.1f}",
+                    f"{drift:+.1f}",
+                ]
+            )
+    print(format_table(
+        ["attack", "delay_ms", "skew_predicted", "skew_measured",
+         "drift_predicted_ms_s", "drift_measured_ms_s"],
+        rows,
+        title="F+/F- sweep: closed-form tilt vs full-protocol measurement",
+    ))
+    print("\n(the paper's setting is the 100 ms row: F+ -> 3190 MHz / -91 ms/s,"
+          "\n F- -> 2610 MHz / +111 ms/s — its measured 3191.224 / 2609.951 MHz)")
+
+    print("\n--- §III-C ablation: why Triad regresses instead of averaging ---")
+    result = calibration_ablation(seed=9, rounds=8)
+    print(result.render())
+    print("\nmean-only books the network roundtrip as sleep time, so it ALWAYS"
+          "\noverestimates F (slowing the clock); regression cancels any delay"
+          "\nthat is uncorrelated with the requested waittime.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Terminal line plots for drift series.
+
+The paper's figures are scatter/line plots of drift (ms) against reference
+time (s). Examples and benchmark output render the same series as ASCII so
+the repository needs no plotting dependency. Multiple series share one
+canvas; each gets a distinct glyph, with a legend line.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Glyphs assigned to series in insertion order (paper: node 1 blue,
+#: node 2 orange, node 3 black — here '1', '2', '3', then generic marks).
+SERIES_GLYPHS = "123456789*+x"
+
+
+def line_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 100,
+    height: int = 24,
+    x_label: str = "reference time (s)",
+    y_label: str = "drift (ms)",
+    title: str = "",
+) -> str:
+    """Render named (x, y) series on one ASCII canvas.
+
+    Later-drawn series overwrite earlier glyphs on collision, which keeps
+    the most interesting (usually attacked) series visible — mirroring the
+    paper's note that Node 1's points may hide Node 2's.
+    """
+    if width < 10 or height < 5:
+        raise ConfigurationError("plot needs width >= 10 and height >= 5")
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        raise ConfigurationError("all series are empty")
+
+    x_values = [x for x, _ in points]
+    y_values = [y for _, y in points]
+    x_min, x_max = min(x_values), max(x_values)
+    y_min, y_max = min(y_values), max(y_values)
+    if x_max == x_min:
+        x_max = x_min + 1
+    if y_max == y_min:
+        y_max = y_min + 1
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    # Zero line for orientation, as in the paper's drift figures.
+    if y_min <= 0 <= y_max:
+        zero_row = _to_row(0.0, y_min, y_max, height)
+        for column in range(width):
+            canvas[zero_row][column] = "-"
+
+    for name, values in series.items():
+        glyph = SERIES_GLYPHS[list(series).index(name) % len(SERIES_GLYPHS)]
+        for x, y in values:
+            column = _to_column(x, x_min, x_max, width)
+            row = _to_row(y, y_min, y_max, height)
+            canvas[row][column] = glyph
+
+    left_labels = [f"{y_max:>10.2f} ", " " * 11, f"{y_min:>10.2f} "]
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            prefix = left_labels[0]
+        elif row_index == height - 1:
+            prefix = left_labels[2]
+        else:
+            prefix = left_labels[1]
+        lines.append(prefix + "|" + "".join(row) + "|")
+    lines.append(" " * 11 + f"+{'-' * width}+")
+    lines.append(
+        " " * 12 + f"{x_min:<12.1f}{x_label:^{max(width - 24, 0)}}{x_max:>12.1f}"
+    )
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"  y: {y_label}    {legend}")
+    return "\n".join(lines)
+
+
+def _to_column(x: float, x_min: float, x_max: float, width: int) -> int:
+    fraction = (x - x_min) / (x_max - x_min)
+    return min(int(fraction * (width - 1)), width - 1)
+
+
+def _to_row(y: float, y_min: float, y_max: float, height: int) -> int:
+    fraction = (y - y_min) / (y_max - y_min)
+    return min(int((1.0 - fraction) * (height - 1)), height - 1)

@@ -1,0 +1,153 @@
+"""Protocol event journals: one chronological view of what happened.
+
+Node statistics record each event family separately (AEX instants,
+untaint outcomes, calibrations, monitor alerts, state changes). The
+journal merges them into one ordered stream per node — or per cluster —
+for debugging, storytelling output in examples, and CSV export.
+
+Events are *derived* from the already-recorded statistics, so journaling
+costs nothing on the protocol hot path and can be produced for any node
+after (or during) a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.report import to_csv
+from repro.core.node import TriadNode
+from repro.errors import ConfigurationError
+from repro.sim.units import SECOND
+
+#: Known event kinds, in rendering-priority order.
+EVENT_KINDS = (
+    "aex",
+    "taint-state",
+    "untaint-peer",
+    "untaint-authority",
+    "untaint-self",
+    "untaint-clique",
+    "full-calibration",
+    "monitor-alert",
+    "state-change",
+)
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """One protocol-level occurrence at one node."""
+
+    time_ns: int
+    node: str
+    kind: str
+    detail: str = ""
+
+    def row(self) -> list:
+        return [f"{self.time_ns / SECOND:.6f}", self.node, self.kind, self.detail]
+
+
+def _untaint_kind(source: str) -> str:
+    if source.startswith("peer:"):
+        return "untaint-peer"
+    if source == "authority":
+        return "untaint-authority"
+    if source == "self-consistent":
+        return "untaint-self"
+    if source == "chimer-clique":
+        return "untaint-clique"
+    return "untaint-peer"
+
+
+def node_events(node: TriadNode, include_states: bool = False) -> list[ProtocolEvent]:
+    """Derive the chronological event stream of one node."""
+    events: list[ProtocolEvent] = []
+    for time_ns in node.stats.aex_times_ns:
+        events.append(ProtocolEvent(time_ns, node.name, "aex"))
+    for outcome in node.stats.untaint_outcomes:
+        jump_ms = outcome.jump_ns / 1e6
+        detail = f"source={outcome.source}"
+        if outcome.jumped_forward:
+            detail += f" jump=+{jump_ms:.3f}ms"
+        events.append(
+            ProtocolEvent(outcome.time_ns, node.name, _untaint_kind(outcome.source), detail)
+        )
+    for time_ns, frequency in node.stats.full_calibrations:
+        events.append(
+            ProtocolEvent(
+                time_ns, node.name, "full-calibration", f"F_calib={frequency / 1e6:.3f}MHz"
+            )
+        )
+    for time_ns in node.stats.monitor_alert_times_ns:
+        events.append(ProtocolEvent(time_ns, node.name, "monitor-alert"))
+    if include_states:
+        for change in node.timeline.changes:
+            events.append(
+                ProtocolEvent(change.time_ns, node.name, "state-change", change.state.value)
+            )
+    events.sort(key=lambda event: (event.time_ns, event.kind))
+    return events
+
+
+class EventJournal:
+    """A merged, queryable event stream over one or more nodes."""
+
+    def __init__(self, events: Iterable[ProtocolEvent]) -> None:
+        self.events = sorted(events, key=lambda event: (event.time_ns, event.node, event.kind))
+
+    @classmethod
+    def of(cls, nodes: Sequence[TriadNode], include_states: bool = False) -> "EventJournal":
+        """Build the cluster-wide journal from node statistics."""
+        if not nodes:
+            raise ConfigurationError("journal needs at least one node")
+        merged: list[ProtocolEvent] = []
+        for node in nodes:
+            merged.extend(node_events(node, include_states=include_states))
+        return cls(merged)
+
+    # -- querying ------------------------------------------------------------
+
+    def filter(
+        self,
+        node: Optional[str] = None,
+        kind: Optional[str] = None,
+        start_ns: Optional[int] = None,
+        end_ns: Optional[int] = None,
+    ) -> "EventJournal":
+        """A sub-journal matching the given criteria."""
+        selected = [
+            event
+            for event in self.events
+            if (node is None or event.node == node)
+            and (kind is None or event.kind == kind)
+            and (start_ns is None or event.time_ns >= start_ns)
+            and (end_ns is None or event.time_ns < end_ns)
+        ]
+        return EventJournal(selected)
+
+    def count(self, kind: str) -> int:
+        """Number of events of one kind."""
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # -- output ----------------------------------------------------------------
+
+    def render(self, limit: Optional[int] = 50) -> str:
+        """Human-readable chronological listing (truncated to ``limit``)."""
+        shown = self.events if limit is None else self.events[:limit]
+        lines = [
+            f"{event.time_ns / SECOND:>12.6f}s  {event.node:<10} {event.kind:<18} {event.detail}".rstrip()
+            for event in shown
+        ]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV text: time_s, node, kind, detail."""
+        return to_csv(["time_s", "node", "kind", "detail"], [event.row() for event in self.events])

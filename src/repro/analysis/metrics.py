@@ -1,0 +1,151 @@
+"""Measurement probes and derived metrics for running experiments.
+
+:class:`DriftRecorder` is the omniscient observer producing the paper's
+drift figures: it samples every node's clock against simulation reference
+time on a fixed grid. The remaining helpers turn recorded state into the
+numbers the paper reports — availability percentages, cumulative AEX and
+TA-reference counts, time-jump extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.node import TriadNode
+from repro.core.states import NodeState
+from repro.errors import ConfigurationError
+from repro.sim.units import SECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class DriftSeries:
+    """Drift samples of one node: (reference_time_ns, drift_ns) pairs."""
+
+    node_name: str
+    samples: list[tuple[int, int]] = field(default_factory=list)
+
+    def times_s(self) -> list[float]:
+        """Sample times in seconds (figure x-axis)."""
+        return [t / SECOND for t, _ in self.samples]
+
+    def drifts_ms(self) -> list[float]:
+        """Drift values in milliseconds (figure y-axis)."""
+        return [d / 1e6 for _, d in self.samples]
+
+    def window(self, start_ns: int, end_ns: int) -> list[tuple[int, int]]:
+        """Samples with start ≤ t < end."""
+        return [(t, d) for t, d in self.samples if start_ns <= t < end_ns]
+
+    def max_abs_drift_ns(self) -> int:
+        """Largest |drift| observed."""
+        if not self.samples:
+            raise ConfigurationError(f"no drift samples recorded for {self.node_name}")
+        return max(abs(d) for _, d in self.samples)
+
+    def final_drift_ns(self) -> int:
+        """Drift at the last sample."""
+        if not self.samples:
+            raise ConfigurationError(f"no drift samples recorded for {self.node_name}")
+        return self.samples[-1][1]
+
+
+class DriftRecorder:
+    """Samples each node's drift on a fixed grid (analysis-only probe)."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        nodes: Sequence[TriadNode],
+        interval_ns: int = SECOND,
+    ) -> None:
+        if interval_ns <= 0:
+            raise ConfigurationError(f"interval must be positive, got {interval_ns}")
+        self.sim = sim
+        self.nodes = list(nodes)
+        self.interval_ns = interval_ns
+        self.series: dict[str, DriftSeries] = {
+            node.name: DriftSeries(node.name) for node in self.nodes
+        }
+        self.process = sim.process(self._run(), name="drift-recorder")
+
+    def _run(self):
+        while True:
+            yield self.sim.timeout(self.interval_ns)
+            for node in self.nodes:
+                if node.clock.calibrated:
+                    self.series[node.name].samples.append((self.sim.now, node.drift_ns()))
+
+    def __getitem__(self, node_name: str) -> DriftSeries:
+        return self.series[node_name]
+
+
+def availability(node: TriadNode, until_ns: int) -> float:
+    """State-timeline availability of one node over [0, until]."""
+    return node.timeline.availability(until_ns)
+
+
+def availability_report(nodes: Sequence[TriadNode], until_ns: int) -> dict[str, float]:
+    """Availability per node — the §IV-A2 table."""
+    return {node.name: availability(node, until_ns) for node in nodes}
+
+
+def cumulative_counts(event_times_ns: Sequence[int], grid_ns: Sequence[int]) -> list[int]:
+    """Events at-or-before each grid point (Fig. 2b / Fig. 6b series)."""
+    sorted_times = sorted(event_times_ns)
+    counts = []
+    index = 0
+    for grid_point in grid_ns:
+        while index < len(sorted_times) and sorted_times[index] <= grid_point:
+            index += 1
+        counts.append(index)
+    return counts
+
+
+def time_grid(duration_ns: int, step_ns: int = SECOND) -> list[int]:
+    """Regular sampling grid [step, 2·step, …, duration]."""
+    if duration_ns <= 0 or step_ns <= 0:
+        raise ConfigurationError("duration and step must be positive")
+    return list(range(step_ns, duration_ns + 1, step_ns))
+
+
+@dataclass(frozen=True)
+class TimeJump:
+    """One forward time-jump applied during a peer untaint."""
+
+    time_ns: int
+    node_name: str
+    source: str
+    jump_ns: int
+
+
+def forward_jumps(node: TriadNode, min_jump_ns: int = 0) -> list[TimeJump]:
+    """Forward jumps a node experienced through untainting.
+
+    The paper reads these off Fig. 3a (50–70 ms jumps between honest
+    nodes) and Fig. 6a (the ≈35 ms jumps of infected honest nodes).
+    """
+    jumps = []
+    for outcome in node.stats.untaint_outcomes:
+        if outcome.jumped_forward and outcome.jump_ns >= min_jump_ns:
+            jumps.append(
+                TimeJump(
+                    time_ns=outcome.time_ns,
+                    node_name=node.name,
+                    source=outcome.source,
+                    jump_ns=outcome.jump_ns,
+                )
+            )
+    return jumps
+
+
+def unavailable_spans(node: TriadNode, until_ns: int) -> list[tuple[int, int, NodeState]]:
+    """Contiguous spans where the node could not serve timestamps."""
+    return [
+        (start, end, state)
+        for start, end, state in node.timeline.segments(until_ns)
+        if not state.available
+    ]

@@ -1,0 +1,72 @@
+"""Tabular report rendering for benchmark and example output.
+
+The benchmark harness prints, for every reproduced table/figure, rows in
+the same shape the paper reports. This module renders those rows as
+aligned text tables and as CSV, with no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Render an aligned text table.
+
+    Cell values are stringified with ``str``; callers pre-format floats to
+    the precision they intend to report.
+    """
+    if not headers:
+        raise ConfigurationError("a table needs at least one column")
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for i, row in enumerate(text_rows):
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append(render_row(["-" * width for width in widths]))
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render rows as CSV text (RFC-4180-style quoting)."""
+    buffer = io.StringIO()
+
+    def write_row(cells: Sequence[Any]) -> None:
+        rendered = []
+        for cell in cells:
+            text = str(cell)
+            if any(ch in text for ch in ',"\n'):
+                text = '"' + text.replace('"', '""') + '"'
+            rendered.append(text)
+        buffer.write(",".join(rendered) + "\n")
+
+    write_row(headers)
+    for row in rows:
+        write_row(row)
+    return buffer.getvalue()
+
+
+def format_comparison(
+    label: str, paper_value: str, measured_value: str, verdict: str
+) -> str:
+    """One paper-vs-measured line for EXPERIMENTS.md-style records."""
+    return f"{label}: paper={paper_value} measured={measured_value} [{verdict}]"

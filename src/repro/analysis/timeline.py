@@ -1,0 +1,72 @@
+"""Rendering of node state timelines (the paper's Fig. 3b diagram).
+
+Produces a text timing diagram: one row per state, time flowing left to
+right, with a configurable resolution. Meant for terminal output from the
+benchmarks and examples — the textual equivalent of the paper's plot.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.node import TriadNode
+from repro.core.states import NodeState, StateTimeline
+from repro.errors import ConfigurationError
+from repro.sim.units import SECOND
+
+#: Row order of the diagram, top to bottom (matches the paper's figure).
+STATE_ROWS: tuple[NodeState, ...] = (
+    NodeState.FULL_CALIB,
+    NodeState.REF_CALIB,
+    NodeState.TAINTED,
+    NodeState.OK,
+)
+
+
+def render_timeline(
+    timeline: StateTimeline,
+    until_ns: int,
+    width: int = 80,
+    label: str = "",
+) -> str:
+    """Render one node's state history as a text timing diagram.
+
+    Each column covers ``until_ns / width`` of simulated time; a cell is
+    marked if the node spent *any* time in that state during the column
+    (so even sub-column calibration blips stay visible, as they do in the
+    paper's plot).
+    """
+    if width <= 0:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    if until_ns <= 0:
+        raise ConfigurationError(f"until must be positive, got {until_ns}")
+    column_ns = max(until_ns // width, 1)
+    segments = timeline.segments(until_ns)
+
+    rows: dict[NodeState, list[str]] = {state: [" "] * width for state in STATE_ROWS}
+    for start, end, state in segments:
+        first = min(start // column_ns, width - 1)
+        last = min(max(end - 1, start) // column_ns, width - 1)
+        for column in range(first, last + 1):
+            rows[state][column] = "#"
+
+    name_width = max(len(state.value) for state in STATE_ROWS)
+    lines = []
+    if label:
+        lines.append(label)
+    for state in STATE_ROWS:
+        lines.append(f"{state.value:>{name_width}} |{''.join(rows[state])}|")
+    axis = f"{'':>{name_width}}  0{'':{width - 2}}{until_ns / SECOND:.0f}s"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def render_cluster_timelines(
+    nodes: Sequence[TriadNode], until_ns: int, width: int = 80
+) -> str:
+    """Stacked timing diagrams for several nodes."""
+    blocks = [
+        render_timeline(node.timeline, until_ns, width=width, label=f"[{node.name}]")
+        for node in nodes
+    ]
+    return "\n\n".join(blocks)

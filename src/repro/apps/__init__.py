@@ -1,0 +1,46 @@
+"""Application workloads on Triad time — the paper's §I motivation.
+
+Three consumers of trusted timestamps, each showing how a protocol-level
+time attack becomes an application-level failure:
+
+* :mod:`repro.apps.timestamping` — an RFC 3161-style TimeStamping
+  Authority (post-dated tokens under F−, back-dated under F+);
+* :mod:`repro.apps.leases` — exclusive resource leases (double grants
+  when the grantor's clock races);
+* :mod:`repro.apps.timeouts` — BFT-style failure detection (spurious
+  leader changes vs undetected procrastinating leaders).
+"""
+
+from repro.apps.leases import (
+    Lease,
+    LeaseAuditor,
+    LeaseHolder,
+    LeaseManager,
+    LeaseManagerStats,
+    LeaseViolation,
+)
+from repro.apps.timeouts import HeartbeatSource, TimeoutWatchdog, WatchdogStats
+from repro.apps.timestamping import (
+    TimestampToken,
+    TimestampingAuthority,
+    TokenVerifier,
+    TsaStats,
+    VerificationReport,
+)
+
+__all__ = [
+    "HeartbeatSource",
+    "Lease",
+    "LeaseAuditor",
+    "LeaseHolder",
+    "LeaseManager",
+    "LeaseManagerStats",
+    "LeaseViolation",
+    "TimeoutWatchdog",
+    "TimestampToken",
+    "TimestampingAuthority",
+    "TokenVerifier",
+    "TsaStats",
+    "VerificationReport",
+    "WatchdogStats",
+]

@@ -1,0 +1,160 @@
+"""Trusted leases on Triad time (the paper's T-Lease use case).
+
+A lease grants exclusive access to a resource until an expiry instant.
+Correctness requires that the *grantor* never re-grants while a holder
+still believes its lease valid — which reduces to clock agreement between
+grantor and holders. The paper's intro cites "time-constrained resource
+allocation (e.g., resource leasing)" as a trusted-time consumer; this
+module quantifies what the F± attacks do to it:
+
+* **grantor infected (F−, clock fast)**: leases appear to expire early at
+  the grantor, which re-grants while the previous (honest) holder's lease
+  is still live — a **mutual-exclusion violation** (double grant);
+* **holder infected**: the holder believes its lease longer/shorter than
+  it is — overstay (safety) or early surrender (availability).
+
+:class:`LeaseManager` runs on one Triad node; holders check validity with
+their own node's clock. All violations are detected by the omniscient
+:class:`LeaseAuditor` using reference time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.node import TriadNode
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted lease."""
+
+    lease_id: int
+    resource: str
+    holder: str
+    granted_at_ns: int  # grantor's trusted clock
+    expires_at_ns: int  # grantor's trusted clock
+
+
+@dataclass
+class LeaseManagerStats:
+    grants: int = 0
+    refusals_held: int = 0
+    refusals_unavailable: int = 0
+    releases: int = 0
+
+
+class LeaseManager:
+    """Grants exclusive leases judged by its Triad node's clock."""
+
+    def __init__(self, node: TriadNode) -> None:
+        self.node = node
+        self.stats = LeaseManagerStats()
+        self._lease_ids = itertools.count(1)
+        self._active: dict[str, Lease] = {}
+        #: Full grant history for auditing.
+        self.history: list[tuple[int, Lease]] = []  # (reference_time, lease)
+        #: Voluntary releases: lease_id -> reference time of release.
+        self.release_times: dict[int, int] = {}
+
+    def acquire(self, resource: str, holder: str, duration_ns: int) -> Optional[Lease]:
+        """Grant ``resource`` to ``holder`` for ``duration_ns``, or refuse.
+
+        Refuses while the manager's clock is tainted (no trusted "now") or
+        while a lease it still considers unexpired exists.
+        """
+        if duration_ns <= 0:
+            raise ConfigurationError(f"lease duration must be positive, got {duration_ns}")
+        now = self.node.try_get_timestamp()
+        if now is None:
+            self.stats.refusals_unavailable += 1
+            return None
+        current = self._active.get(resource)
+        if current is not None and current.expires_at_ns > now:
+            self.stats.refusals_held += 1
+            return None
+        lease = Lease(
+            lease_id=next(self._lease_ids),
+            resource=resource,
+            holder=holder,
+            granted_at_ns=now,
+            expires_at_ns=now + duration_ns,
+        )
+        self._active[resource] = lease
+        self.stats.grants += 1
+        self.history.append((self.node.sim.now, lease))
+        return lease
+
+    def release(self, lease: Lease) -> None:
+        """Voluntary early release by the holder."""
+        current = self._active.get(lease.resource)
+        if current is not None and current.lease_id == lease.lease_id:
+            del self._active[lease.resource]
+            self.stats.releases += 1
+            self.release_times[lease.lease_id] = self.node.sim.now
+
+
+class LeaseHolder:
+    """A participant judging its lease's validity by its own node's clock."""
+
+    def __init__(self, node: TriadNode) -> None:
+        self.node = node
+
+    def believes_valid(self, lease: Lease) -> bool:
+        """Whether this holder still considers ``lease`` unexpired."""
+        now = self.node.try_get_timestamp()
+        if now is None:
+            return False  # fail-safe: no trusted time, assume expired
+        return now < lease.expires_at_ns
+
+
+@dataclass
+class LeaseViolation:
+    """Two leases on one resource overlapping in *reference* time."""
+
+    resource: str
+    earlier: Lease
+    later: Lease
+    overlap_ns: int
+
+
+class LeaseAuditor:
+    """Omniscient safety check: did exclusive leases ever overlap?
+
+    Uses reference (simulation) time: a violation is a re-grant at
+    reference instant T while the previous lease's holder — honest, with
+    a reference-accurate clock — still considered itself inside its lease
+    term. The previous lease's *true* validity window is approximated by
+    its duration laid onto reference time from the grant instant, which
+    is exact when the previous holder's clock tracks reference time.
+    """
+
+    def audit(self, manager: LeaseManager) -> list[LeaseViolation]:
+        violations = []
+        by_resource: dict[str, list[tuple[int, Lease]]] = {}
+        for granted_ref_ns, lease in manager.history:
+            by_resource.setdefault(lease.resource, []).append((granted_ref_ns, lease))
+        for resource, grants in by_resource.items():
+            for (earlier_ref, earlier), (later_ref, later) in zip(grants, grants[1:]):
+                earlier_duration = earlier.expires_at_ns - earlier.granted_at_ns
+                earlier_true_end = earlier_ref + earlier_duration
+                released_at = manager.release_times.get(earlier.lease_id)
+                if released_at is not None:
+                    # A voluntary release legitimately ends the lease early.
+                    earlier_true_end = min(earlier_true_end, released_at)
+                if later_ref < earlier_true_end:
+                    violations.append(
+                        LeaseViolation(
+                            resource=resource,
+                            earlier=earlier,
+                            later=later,
+                            overlap_ns=earlier_true_end - later_ref,
+                        )
+                    )
+        return violations

@@ -1,0 +1,142 @@
+"""Timeout monitoring on Triad time (the paper's BFT use case).
+
+The paper's introduction lists "resilience to timeout manipulation (e.g.,
+BFT leader changes, procrastinating BFT leaders)" among trusted-time
+consumers. The canonical pattern: a watchdog observes a heartbeat stream
+(from a leader, a remote service, …) and declares failure when the gap
+since the last heartbeat — *measured on the trusted clock* — exceeds a
+deadline. Both attack directions break it in characteristic ways:
+
+* **clock fast (F−)**: gaps are over-measured; the watchdog fires while
+  the leader is perfectly live — **spurious leader changes**, and a time
+  *jump* (an untaint adoption from an infected peer) can fire the timeout
+  instantly;
+* **clock slow (F+)**: gaps are under-measured; a procrastinating or dead
+  leader is detected late or never — the exact "procrastinating leader"
+  scenario the paper cites.
+
+:class:`TimeoutWatchdog` measures both failure modes against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.node import TriadNode
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class WatchdogStats:
+    """Detection outcomes, judged against reference time."""
+
+    heartbeats_seen: int = 0
+    timeouts_fired: int = 0
+    #: Timeouts fired while the source was actually live (reference gap
+    #: below the deadline at fire time).
+    spurious_timeouts: int = 0
+    #: (fire_time_ns, trusted_gap_ns, true_gap_ns) per firing.
+    firings: list[tuple[int, int, int]] = field(default_factory=list)
+    #: Reference-time latency of detecting the real failure (None until
+    #: a genuine failure is detected).
+    true_detection_latency_ns: Optional[int] = None
+
+
+class TimeoutWatchdog:
+    """Declares a heartbeat source failed after a trusted-time deadline."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: TriadNode,
+        deadline_ns: int,
+        poll_interval_ns: int,
+    ) -> None:
+        if deadline_ns <= 0 or poll_interval_ns <= 0:
+            raise ConfigurationError("deadline and poll interval must be positive")
+        self.sim = sim
+        self.node = node
+        self.deadline_ns = deadline_ns
+        self.poll_interval_ns = poll_interval_ns
+        self.stats = WatchdogStats()
+        self._last_heartbeat_trusted: Optional[int] = None
+        self._last_heartbeat_reference: Optional[int] = None
+        self._source_failed_at_ns: Optional[int] = None
+        self.process = sim.process(self._watch(), name=f"watchdog/{node.name}")
+
+    # -- inputs ------------------------------------------------------------------
+
+    def heartbeat(self) -> None:
+        """Record a heartbeat arrival (called by the monitored source)."""
+        trusted = self.node.try_get_timestamp()
+        if trusted is None:
+            return  # cannot timestamp while tainted; next heartbeat will do
+        self.stats.heartbeats_seen += 1
+        self._last_heartbeat_trusted = trusted
+        self._last_heartbeat_reference = self.sim.now
+
+    def source_failed(self) -> None:
+        """Ground-truth marker: the source really died now (test harness)."""
+        self._source_failed_at_ns = self.sim.now
+
+    # -- watchdog loop ----------------------------------------------------------------
+
+    def _watch(self):
+        while True:
+            yield self.sim.timeout(self.poll_interval_ns)
+            if self._last_heartbeat_trusted is None:
+                continue
+            now_trusted = self.node.try_get_timestamp()
+            if now_trusted is None:
+                continue
+            trusted_gap = now_trusted - self._last_heartbeat_trusted
+            if trusted_gap <= self.deadline_ns:
+                continue
+            # Timeout fires.
+            true_gap = self.sim.now - self._last_heartbeat_reference
+            self.stats.timeouts_fired += 1
+            self.stats.firings.append((self.sim.now, trusted_gap, true_gap))
+            genuinely_dead = (
+                self._source_failed_at_ns is not None
+                and self.sim.now > self._source_failed_at_ns
+            )
+            if genuinely_dead:
+                if self.stats.true_detection_latency_ns is None:
+                    self.stats.true_detection_latency_ns = (
+                        self.sim.now - self._source_failed_at_ns
+                    )
+            elif true_gap <= self.deadline_ns:
+                self.stats.spurious_timeouts += 1
+            # Reset so the watchdog can re-arm (leader change completed).
+            self._last_heartbeat_trusted = now_trusted
+            self._last_heartbeat_reference = self.sim.now
+
+
+class HeartbeatSource:
+    """A live source emitting heartbeats until told to fail."""
+
+    def __init__(
+        self, sim: "Simulator", watchdog: TimeoutWatchdog, interval_ns: int
+    ) -> None:
+        if interval_ns <= 0:
+            raise ConfigurationError("heartbeat interval must be positive")
+        self.sim = sim
+        self.watchdog = watchdog
+        self.interval_ns = interval_ns
+        self.alive = True
+        self.process = sim.process(self._beat(), name="heartbeat-source")
+
+    def fail(self) -> None:
+        """Stop beating and mark ground truth in the watchdog."""
+        self.alive = False
+        self.watchdog.source_failed()
+
+    def _beat(self):
+        while True:
+            if self.alive:
+                self.watchdog.heartbeat()
+            yield self.sim.timeout(self.interval_ns)

@@ -1,0 +1,157 @@
+"""A TEE-hosted TimeStamping Authority (RFC 3161-style) on Triad time.
+
+The paper's introduction motivates trusted time with TimeStamping
+Authorities: a TSA attests that a document digest existed at a point in
+time. Hosted in a TEE, the signature key is protected — but the *time*
+going into each token comes from the Triad clock, so every attack on the
+protocol becomes an attack on token semantics:
+
+* an **F− infected** TSA post-dates everything: tokens claim a future
+  time, which a verifier with an honest reference can flag;
+* an **F+ slowed** TSA back-dates new tokens relative to real time —
+  indistinguishable from honest issuance to a verifier without a
+  reference, and valuable to an attacker who wants "old" proof of a new
+  document.
+
+Tokens are authenticated with HMAC over the TSA's key (a real TSA signs;
+MAC suffices in simulation — forging is equally impossible for the
+network adversary).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.node import TriadNode
+from repro.errors import ConfigurationError, ProtocolError
+from repro.net.crypto import derive_key
+from repro.sim.units import SECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class TimestampToken:
+    """A signed assertion: ``digest`` existed at ``timestamp_ns``."""
+
+    digest: bytes
+    timestamp_ns: int
+    tsa_name: str
+    signature: bytes
+
+    def payload(self) -> bytes:
+        return (
+            self.digest
+            + self.timestamp_ns.to_bytes(16, "little", signed=True)
+            + self.tsa_name.encode("utf-8")
+        )
+
+
+@dataclass
+class TsaStats:
+    """Issuance accounting."""
+
+    issued: int = 0
+    refused_unavailable: int = 0
+    tokens: list[TimestampToken] = field(default_factory=list)
+
+
+class TimestampingAuthority:
+    """Issues timestamp tokens using a Triad node's trusted clock."""
+
+    def __init__(self, node: TriadNode, key_label: str = "tsa-signing-key") -> None:
+        self.node = node
+        self._key = derive_key(key_label, node.name)
+        self.stats = TsaStats()
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def issue(self, digest: bytes) -> Optional[TimestampToken]:
+        """Issue a token for ``digest``; None while the clock is tainted."""
+        if len(digest) == 0:
+            raise ConfigurationError("cannot timestamp an empty digest")
+        timestamp = self.node.try_get_timestamp()
+        if timestamp is None:
+            self.stats.refused_unavailable += 1
+            return None
+        token = self._sign(digest, timestamp)
+        self.stats.issued += 1
+        self.stats.tokens.append(token)
+        return token
+
+    def _sign(self, digest: bytes, timestamp_ns: int) -> TimestampToken:
+        unsigned = TimestampToken(
+            digest=digest, timestamp_ns=timestamp_ns, tsa_name=self.name, signature=b""
+        )
+        signature = hmac.new(self._key, unsigned.payload(), hashlib.sha256).digest()
+        return TimestampToken(
+            digest=digest,
+            timestamp_ns=timestamp_ns,
+            tsa_name=self.name,
+            signature=signature,
+        )
+
+
+@dataclass
+class VerificationReport:
+    """Outcome counts of a verifier's token audit."""
+
+    valid: int = 0
+    bad_signature: int = 0
+    post_dated: int = 0
+    #: (token, how far in the verifier's future) for flagged tokens.
+    post_dated_tokens: list[tuple[TimestampToken, int]] = field(default_factory=list)
+
+
+class TokenVerifier:
+    """Audits tokens against an honest reference clock.
+
+    The verifier is *outside* the attacked system (a relying party with
+    its own NTP-disciplined clock, modelled as reference time ± a bound).
+    A token whose claimed time exceeds the verifier's current time by more
+    than ``future_tolerance_ns`` is physically impossible and flagged —
+    this is how an F− infection becomes *externally visible* at the
+    application layer.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        tsa: TimestampingAuthority,
+        future_tolerance_ns: int = SECOND,
+    ) -> None:
+        if future_tolerance_ns < 0:
+            raise ConfigurationError("future tolerance must be non-negative")
+        self.sim = sim
+        self._key = tsa._key  # relying party holds the verification key
+        self.tsa_name = tsa.name
+        self.future_tolerance_ns = future_tolerance_ns
+
+    def verify(self, token: TimestampToken, report: VerificationReport) -> bool:
+        """Check one token; updates ``report`` and returns validity."""
+        if token.tsa_name != self.tsa_name:
+            raise ProtocolError(f"token from unknown TSA {token.tsa_name!r}")
+        expected = hmac.new(self._key, token.payload(), hashlib.sha256).digest()
+        if not hmac.compare_digest(expected, token.signature):
+            report.bad_signature += 1
+            return False
+        ahead = token.timestamp_ns - self.sim.now
+        if ahead > self.future_tolerance_ns:
+            report.post_dated += 1
+            report.post_dated_tokens.append((token, ahead))
+            return False
+        report.valid += 1
+        return True
+
+    def audit(self, tokens: list[TimestampToken]) -> VerificationReport:
+        """Verify a batch; returns the aggregated report."""
+        report = VerificationReport()
+        for token in tokens:
+            self.verify(token, report)
+        return report

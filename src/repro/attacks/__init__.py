@@ -1,0 +1,30 @@
+"""Attacks on the Triad protocol, as analysed in the paper.
+
+* :class:`CalibrationDelayAttacker` — the F+ / F− delay attacks on the
+  TSC-rate calibration (§III-C), the paper's main contribution.
+* :class:`AexSuppressionAttack` / :class:`EnvironmentSwitchAttack` — OS
+  scheduling attacks controlling *when* nodes refresh (§III-A, Fig. 4/6).
+* :class:`TscScaleAttack` / :class:`TscOffsetAttack` — hypervisor TSC
+  manipulation, which the INC monitor detects (§IV-A1).
+* :func:`at` — scripted-timeline helper shared by attack scenarios.
+"""
+
+from repro.attacks.byzantine import ByzantineStats, ByzantineTriadNode, LIE_STRATEGIES
+from repro.attacks.delay import AttackMode, CalibrationDelayAttacker
+from repro.attacks.dos import TaBlackholeAttack
+from repro.attacks.scheduler import AexSuppressionAttack, EnvironmentSwitchAttack, at
+from repro.attacks.tscattack import TscOffsetAttack, TscScaleAttack
+
+__all__ = [
+    "AexSuppressionAttack",
+    "AttackMode",
+    "ByzantineStats",
+    "ByzantineTriadNode",
+    "CalibrationDelayAttacker",
+    "LIE_STRATEGIES",
+    "EnvironmentSwitchAttack",
+    "TaBlackholeAttack",
+    "TscOffsetAttack",
+    "TscScaleAttack",
+    "at",
+]

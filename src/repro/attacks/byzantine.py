@@ -1,0 +1,118 @@
+"""Byzantine Triad nodes: lying peers beyond the paper's attacker model.
+
+The paper's attacker controls the OS/hypervisor but not the enclave — a
+Triad node's *code* is trusted, which is why its peer responses are
+believed. The §V discussion, however, grounds the hardened design in an
+honest-**majority** assumption, implicitly conceding that enclaves, too,
+can fall (exploits, side channels, leaked attestation keys). This module
+makes that threat concrete so the hardened protocol can be evaluated
+against it:
+
+:class:`ByzantineTriadNode` participates in the protocol with valid keys
+(it *is* a cluster member) but answers peer timestamp requests with lies:
+
+* ``far-future`` — a timestamp far ahead; against the **original** policy
+  this infects every honest peer instantly, no calibration attack needed
+  (adopt-the-maximum believes anyone);
+* ``far-past`` — a stale timestamp; harmless against the original policy
+  (never adopted) and excluded by chimer filtering;
+* ``shifted`` — honest time plus a configurable bias with an honest-sized
+  error bound; the strongest lie against the hardened protocol, bounded
+  by interval overlap: to remain a chimer the lie must keep intersecting
+  the honest intervals, capping the achievable midpoint displacement;
+* ``wide`` — honest time with an enormous claimed error bound, trying to
+  capture the Marzullo intersection; the intersection stays bounded by
+  the honest intervals, so the lie gains nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.node import TriadNode
+from repro.errors import ConfigurationError
+from repro.messages import PeerTimeRequest, PeerTimeResponse
+from repro.sim.units import HOUR, SECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+#: Valid lie strategies.
+LIE_STRATEGIES = ("far-future", "far-past", "shifted", "wide")
+
+
+@dataclass
+class ByzantineStats:
+    """What the liar did."""
+
+    lies_told: int = 0
+    lie_log: list[tuple[int, int, int]] = field(default_factory=list)  # (t, ts, bound)
+
+
+class ByzantineTriadNode(TriadNode):
+    """A cluster member whose enclave is compromised: it lies to peers.
+
+    Runs the full protocol for itself (so it stays plausible — it
+    calibrates, untaints, serves), but answers ``PeerTimeRequest`` with
+    the configured lie. ``lie_shift_ns`` parameterizes the ``shifted``
+    strategy; ``lie_bound_ns`` the claimed error bound (used by hardened
+    verifiers only).
+    """
+
+    lie_strategy: str = "far-future"
+    lie_shift_ns: int = 30 * SECOND
+    lie_bound_ns: int = 1_000_000  # 1 ms — an honest-looking bound
+
+    def configure_lies(
+        self,
+        strategy: str,
+        shift_ns: Optional[int] = None,
+        bound_ns: Optional[int] = None,
+    ) -> None:
+        """Choose what to lie about."""
+        if strategy not in LIE_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown lie strategy {strategy!r}; choose from {LIE_STRATEGIES}"
+            )
+        self.lie_strategy = strategy
+        if shift_ns is not None:
+            self.lie_shift_ns = shift_ns
+        if bound_ns is not None:
+            self.lie_bound_ns = bound_ns
+
+    @property
+    def byzantine_stats(self) -> ByzantineStats:
+        if not hasattr(self, "_byzantine_stats"):
+            self._byzantine_stats = ByzantineStats()
+        return self._byzantine_stats
+
+    def _serve_peer_request(self, sender: str, request: PeerTimeRequest) -> None:
+        # A liar answers even while tainted — silence would only reduce
+        # its influence.
+        if not self.clock.calibrated:
+            return
+        honest_now = self.clock.now_unchecked()
+        if self.lie_strategy == "far-future":
+            timestamp = honest_now + self.lie_shift_ns
+            bound = self.lie_bound_ns
+        elif self.lie_strategy == "far-past":
+            timestamp = max(honest_now - self.lie_shift_ns, 0)
+            bound = self.lie_bound_ns
+        elif self.lie_strategy == "shifted":
+            timestamp = honest_now + self.lie_shift_ns
+            bound = self.lie_bound_ns
+        else:  # "wide"
+            timestamp = honest_now
+            bound = HOUR  # claim an absurd uncertainty to blanket everyone
+        stats = self.byzantine_stats
+        stats.lies_told += 1
+        stats.lie_log.append((self.sim.now, timestamp, bound))
+        self.endpoint.send(
+            sender,
+            PeerTimeResponse(
+                request_id=request.request_id,
+                timestamp_ns=timestamp,
+                error_bound_ns=bound,
+            ),
+        )

@@ -1,0 +1,24 @@
+"""Time Authority and NTP-style synchronization primitives."""
+
+from repro.authority.ntp import (
+    DriftEstimator,
+    MAX_POLL_EXPONENT,
+    MIN_POLL_EXPONENT,
+    NTP_STANDARD_DRIFT_PPM,
+    SyncExchange,
+    filter_exchanges_by_delay,
+    poll_interval_ns,
+)
+from repro.authority.ta import TaStats, TimeAuthority
+
+__all__ = [
+    "DriftEstimator",
+    "MAX_POLL_EXPONENT",
+    "MIN_POLL_EXPONENT",
+    "NTP_STANDARD_DRIFT_PPM",
+    "SyncExchange",
+    "TaStats",
+    "TimeAuthority",
+    "filter_exchanges_by_delay",
+    "poll_interval_ns",
+]

@@ -1,0 +1,146 @@
+"""NTP-style synchronization primitives.
+
+The paper contrasts Triad's short (≤1 s) calibration exchanges with mature
+clock-synchronization practice: NTP measures drift over windows of 2^τ
+seconds with τ ∈ [4, 17] (16 s to ≈36 h) and reaches the standard 15 ppm
+drift bound, an order of magnitude better than Triad's observed ≈110 ppm.
+The hardened protocol of §V replaces Triad's calibration with these
+primitives, so they live in their own module:
+
+* :func:`exchange_offset_delay` — the classic four-timestamp computation;
+* :class:`DriftEstimator` — least-squares frequency drift over a long
+  window of offset samples;
+* poll-interval constants matching RFC 958 / NTPv4 practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import CalibrationError
+from repro.sim.units import SECOND
+
+#: NTP poll-exponent range from the paper: tau in [4, 17] -> 16 s .. ~36 h.
+MIN_POLL_EXPONENT = 4
+MAX_POLL_EXPONENT = 17
+
+#: NTP's standard allowed clock drift rate: 15 ppm (15 µs/s).
+NTP_STANDARD_DRIFT_PPM = 15.0
+
+
+def poll_interval_ns(exponent: int) -> int:
+    """The NTP poll interval 2^exponent seconds, in nanoseconds."""
+    if not MIN_POLL_EXPONENT <= exponent <= MAX_POLL_EXPONENT:
+        raise CalibrationError(
+            f"poll exponent must be in [{MIN_POLL_EXPONENT}, {MAX_POLL_EXPONENT}], got {exponent}"
+        )
+    return (1 << exponent) * SECOND
+
+
+@dataclass(frozen=True)
+class SyncExchange:
+    """The four timestamps of one client/server exchange.
+
+    ``t1``: client transmit (client clock), ``t2``: server receive (server
+    clock), ``t3``: server transmit (server clock), ``t4``: client receive
+    (client clock). All nanoseconds.
+    """
+
+    t1: int
+    t2: int
+    t3: int
+    t4: int
+
+    @property
+    def offset_ns(self) -> float:
+        """Estimated client-clock offset from the server: θ = ((t2−t1)+(t3−t4))/2.
+
+        Positive means the client's clock is behind the server's. Exact
+        when outbound and return path delays are equal; an attacker
+        delaying one direction biases it by half the added delay — which
+        is precisely why the hardened protocol also tracks ``delay_ns``.
+        """
+        return ((self.t2 - self.t1) + (self.t3 - self.t4)) / 2
+
+    @property
+    def delay_ns(self) -> int:
+        """Round-trip network delay: δ = (t4−t1) − (t3−t2).
+
+        Grows by the full amount of any attacker-added delay, making
+        delayed exchanges stand out against the observed delay floor.
+        """
+        return (self.t4 - self.t1) - (self.t3 - self.t2)
+
+
+def filter_exchanges_by_delay(
+    exchanges: Sequence[SyncExchange], tolerance_ratio: float = 2.0
+) -> list[SyncExchange]:
+    """Keep only exchanges whose delay is close to the observed minimum.
+
+    NTP's clock filter prefers low-delay samples because their offset error
+    is bounded by δ/2. Discarding samples with ``delay > min_delay *
+    tolerance_ratio`` removes exactly the exchanges an on-path delay
+    attacker has touched (its additions dwarf honest jitter).
+    """
+    if not exchanges:
+        return []
+    if tolerance_ratio < 1.0:
+        raise CalibrationError(f"tolerance ratio must be >= 1, got {tolerance_ratio}")
+    min_delay = min(exchange.delay_ns for exchange in exchanges)
+    threshold = min_delay * tolerance_ratio
+    return [exchange for exchange in exchanges if exchange.delay_ns <= threshold]
+
+
+class DriftEstimator:
+    """Least-squares frequency-drift estimation over a long sample window.
+
+    Feed it ``(local_time_ns, offset_ns)`` pairs collected from successive
+    exchanges; the fitted slope is the local clock's drift rate relative to
+    the server (dimensionless; multiply by 1e6 for ppm). This is the
+    long-timeframe discipline the paper recommends over Triad's
+    seconds-scale regression.
+    """
+
+    def __init__(self, window_ns: int = poll_interval_ns(6)) -> None:
+        if window_ns <= 0:
+            raise CalibrationError(f"window must be positive, got {window_ns}")
+        self.window_ns = window_ns
+        self._samples: list[tuple[int, float]] = []
+
+    def add_sample(self, local_time_ns: int, offset_ns: float) -> None:
+        """Record one offset measurement and drop samples out of window."""
+        self._samples.append((local_time_ns, offset_ns))
+        horizon = local_time_ns - self.window_ns
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.pop(0)
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def span_ns(self) -> int:
+        """Time spanned by the retained samples."""
+        if len(self._samples) < 2:
+            return 0
+        return self._samples[-1][0] - self._samples[0][0]
+
+    def drift_rate(self) -> float:
+        """Fitted drift (seconds of offset per second of local time).
+
+        Requires at least two samples spanning a non-zero interval.
+        """
+        if len(self._samples) < 2 or self.span_ns == 0:
+            raise CalibrationError("need >= 2 samples spanning time to estimate drift")
+        times = [t for t, _ in self._samples]
+        offsets = [o for _, o in self._samples]
+        mean_t = sum(times) / len(times)
+        mean_o = sum(offsets) / len(offsets)
+        numerator = sum((t - mean_t) * (o - mean_o) for t, o in self._samples)
+        denominator = sum((t - mean_t) ** 2 for t in times)
+        return numerator / denominator
+
+    def drift_ppm(self) -> float:
+        """Drift rate in parts per million."""
+        return self.drift_rate() * 1e6

@@ -1,0 +1,103 @@
+"""The Time Authority (TA): Triad's root of time trust.
+
+The TA is a remote server with an authoritative clock — in deployments an
+NTP(sec) server or a timestamping authority. Triad nodes contact it:
+
+* during **speed calibration**, with requests carrying a waittime ``s``:
+  the TA waits ``s`` on its own clock before responding, letting the node
+  relate TSC increments to reference time;
+* during **reference calibration**, with ``s = 0`` requests, to re-anchor
+  the absolute timestamp after all peers were tainted simultaneously.
+
+The TA handles any number of concurrent requests (each gets its own
+handler process). Its clock is the simulation's reference time plus an
+optional fixed offset; the TA itself is trusted and not attackable in the
+paper's model — all attacks happen on the path to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ProtocolError
+from repro.messages import TimeRequest, TimeResponse
+from repro.net.transport import Envelope, SecureEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class TaStats:
+    """Served-request accounting, used by the Fig. 2b reproduction."""
+
+    requests_received: int = 0
+    responses_sent: int = 0
+    #: (time_ns, requester, sleep_ns) per request, in arrival order.
+    request_log: list[tuple[int, str, int]] = field(default_factory=list)
+
+    def requests_from(self, requester: str) -> int:
+        """Number of requests received from one node."""
+        return sum(1 for _, name, _ in self.request_log if name == requester)
+
+
+class TimeAuthority:
+    """A trusted reference-time server."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        endpoint: SecureEndpoint,
+        clock_offset_ns: int = 0,
+        max_sleep_ns: int = 60 * 1_000_000_000,
+    ) -> None:
+        self.sim = sim
+        self.endpoint = endpoint
+        self.clock_offset_ns = clock_offset_ns
+        self.max_sleep_ns = max_sleep_ns
+        self.stats = TaStats()
+        self.process = sim.process(self._serve(), name=f"time-authority/{endpoint.name}")
+
+    @property
+    def name(self) -> str:
+        """The TA's network name."""
+        return self.endpoint.name
+
+    def now(self) -> int:
+        """The TA's clock reading (reference time + configured offset)."""
+        return self.sim.now + self.clock_offset_ns
+
+    # -- server loop -----------------------------------------------------------
+
+    def _serve(self):
+        while True:
+            envelope = yield self.endpoint.recv()
+            self.sim.process(
+                self._handle(envelope), name=f"ta-handler/{envelope.sender}"
+            )
+
+    def _handle(self, envelope: Envelope):
+        message = envelope.message
+        if not isinstance(message, TimeRequest):
+            raise ProtocolError(
+                f"TA received unexpected message {type(message).__name__} from {envelope.sender}"
+            )
+        self.stats.requests_received += 1
+        self.stats.request_log.append((self.sim.now, envelope.sender, message.sleep_ns))
+        receive_time = self.now()
+        sleep_ns = min(max(message.sleep_ns, 0), self.max_sleep_ns)
+        if sleep_ns:
+            yield self.sim.timeout(sleep_ns)
+        transmit_time = self.now()
+        self.endpoint.send(
+            envelope.sender,
+            TimeResponse(
+                request_id=message.request_id,
+                reference_time_ns=transmit_time,
+                sleep_ns=message.sleep_ns,
+                receive_time_ns=receive_time,
+                transmit_time_ns=transmit_time,
+            ),
+        )
+        self.stats.responses_sent += 1

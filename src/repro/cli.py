@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the canonical experiments and what they reproduce.
+``run <experiment>``
+    Run one experiment (``fig1``, ``inc``, ``fig2`` … ``fig6``,
+    ``fig6-hardened``, ``ablation``) and print its tables; ``--export DIR``
+    also writes the series as CSVs.
+``sweep <name>``
+    Run a parameter sweep (``attack-delay``, ``jitter``, ``cluster-size``,
+    ``aex-rate``) and print its table.
+``run-spec <file.json>``
+    Run a declarative experiment spec (see ``examples/specs/`` and
+    :mod:`repro.experiments.spec`).
+``reproduce``
+    Run everything (delegates to ``examples/reproduce_paper.py``'s logic
+    via the same figure functions) and print the paper-vs-measured lines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional
+
+from repro.experiments import figures
+from repro.sim.units import HOUR, MINUTE, SECOND
+
+#: Experiment registry: name -> (description, default duration ns, runner).
+_EXPERIMENTS: dict[str, tuple[str, Optional[int], Callable]] = {
+    "fig1": ("Fig. 1a/1b inter-AEX delay CDFs", None, lambda d: figures.figure1()),
+    "inc": ("S IV-A1 INC-monitoring table", None, lambda d: figures.inc_monitor_experiment()),
+    "fig2": ("Fig. 2 fault-free, Triad-like AEXs", 30 * MINUTE, figures.figure2),
+    "fig3": ("Fig. 3 fault-free, low-AEX (8h)", 8 * HOUR, figures.figure3),
+    "fig4": ("Fig. 4 F+ attack, low-AEX victim", 10 * MINUTE, figures.figure4),
+    "fig5": ("Fig. 5 F+ attack, Triad-like AEXs", 10 * MINUTE, figures.figure5),
+    "fig6": ("Fig. 6 F- attack & propagation", 7 * MINUTE, figures.figure6),
+    "fig6-hardened": ("Fig. 6 scenario vs S V hardening", 7 * MINUTE, figures.figure6_hardened),
+    "ablation": ("ABL-CAL calibration estimators", None, lambda d: figures.calibration_ablation()),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Triad's TEE trusted-time protocol (DSN-S 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(_EXPERIMENTS))
+    run.add_argument("--seed", type=int, default=None, help="override the default seed")
+    run.add_argument(
+        "--duration-s", type=float, default=None, help="override the run duration (seconds)"
+    )
+    run.add_argument("--export", metavar="DIR", default=None, help="write series CSVs to DIR")
+
+    sweep = sub.add_parser("sweep", help="run a parameter sweep")
+    sweep.add_argument(
+        "sweep_name",
+        choices=["attack-delay", "jitter", "cluster-size", "aex-rate"],
+    )
+
+    run_spec = sub.add_parser("run-spec", help="run a JSON experiment spec")
+    run_spec.add_argument("spec_path", help="path to the spec JSON file")
+    run_spec.add_argument("--export", metavar="DIR", default=None, help="write series CSVs to DIR")
+
+    sub.add_parser("reproduce", help="run every experiment and print the summary")
+    return parser
+
+
+def _run_sweep(name: str) -> None:
+    from repro.analysis.report import format_table
+    from repro.attacks.delay import AttackMode
+    from repro.experiments import sweeps
+
+    if name == "attack-delay":
+        points = sweeps.attack_delay_sweep(AttackMode.F_MINUS)
+        metrics = ["skew_measured", "skew_predicted", "drift_ms_per_s"]
+    elif name == "jitter":
+        points = sweeps.jitter_sweep()
+        metrics = ["mean_abs_error_ppm", "error_spread_ppm"]
+    elif name == "cluster-size":
+        points = sweeps.cluster_size_sweep()
+        metrics = ["honest_nodes", "infected_fraction", "last_infection_s"]
+    else:
+        points = sweeps.aex_rate_sweep()
+        metrics = ["availability", "aex_count", "peer_untaints", "ta_references"]
+    rows = [
+        [f"{value:.4g}" if isinstance(value, float) else value for value in point.row(metrics)]
+        for point in points
+    ]
+    print(format_table([points[0].parameter] + metrics, rows, title=f"sweep: {name}"))
+
+
+def _run_experiment(name: str, seed: Optional[int], duration_s: Optional[float]):
+    _description, default_duration, runner = _EXPERIMENTS[name]
+    kwargs = {}
+    if seed is not None:
+        kwargs["seed"] = seed
+    if default_duration is None:
+        # fig1 / inc / ablation have no duration knob; their registry
+        # entries are lambdas taking the (ignored) duration placeholder.
+        if duration_s is not None:
+            print("note: this experiment has no duration parameter; --duration-s ignored")
+        if kwargs:
+            print("note: this experiment runs with its built-in seed; --seed ignored")
+        return runner(None)
+    duration_ns = int(duration_s * SECOND) if duration_s is not None else default_duration
+    return runner(duration_ns=duration_ns, **kwargs)
+
+
+def _print_result(name: str, result) -> None:
+    if hasattr(result, "render"):
+        try:
+            print(result.render())
+            return
+        except TypeError:
+            pass
+    description = _EXPERIMENTS[name][0]
+    print(result.render(description))
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(name) for name in _EXPERIMENTS)
+        for name, (description, duration, _) in sorted(_EXPERIMENTS.items()):
+            span = f"{duration / SECOND:.0f}s" if duration else "-"
+            print(f"{name:<{width + 2}} {span:>8}  {description}")
+        return 0
+
+    if args.command == "run":
+        result = _run_experiment(args.experiment, args.seed, args.duration_s)
+        _print_result(args.experiment, result)
+        if args.export:
+            from repro.analysis.export import export_experiment
+
+            if not hasattr(result, "experiment"):
+                print(f"note: {args.experiment} has no exportable series")
+            else:
+                paths = export_experiment(result, args.export)
+                print(f"\nwrote {len(paths)} CSV files to {args.export}/")
+        return 0
+
+    if args.command == "sweep":
+        _run_sweep(args.sweep_name)
+        return 0
+
+    if args.command == "run-spec":
+        from repro.experiments.figures import DriftFigureResult
+        from repro.experiments.spec import ExperimentSpec
+
+        spec = ExperimentSpec.load(args.spec_path)
+        experiment = spec.run()
+        result = DriftFigureResult(experiment=experiment, duration_ns=spec.duration_ns)
+        print(result.render(f"spec: {spec.name} ({spec.protocol}, {spec.duration_s:.0f}s)"))
+        if args.export:
+            from repro.analysis.export import export_experiment
+
+            paths = export_experiment(result, args.export)
+            print(f"\nwrote {len(paths)} CSV files to {args.export}/")
+        return 0
+
+    if args.command == "reproduce":
+        import runpy
+        from pathlib import Path
+
+        script = Path(__file__).resolve().parents[2] / "examples" / "reproduce_paper.py"
+        if script.exists():
+            saved_argv = sys.argv
+            sys.argv = [str(script)]
+            try:
+                runpy.run_path(str(script), run_name="__main__")
+            finally:
+                sys.argv = saved_argv
+        else:  # installed without the examples tree: run the essentials
+            for name in ("fig1", "inc", "fig2", "fig6", "ablation"):
+                print(f"\n=== {name} ===")
+                _print_result(name, _run_experiment(name, None, None))
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces valid commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

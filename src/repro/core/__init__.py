@@ -1,0 +1,60 @@
+"""The Triad protocol implementation — the paper's primary contribution.
+
+Public surface:
+
+* :class:`TriadNode` / :class:`TriadNodeConfig` — one protocol participant.
+* :class:`TriadCluster` / :class:`ClusterConfig` — a wired deployment
+  (machine + network + Time Authority + nodes).
+* :class:`TrustedClock` — the enclave clock (TSC + calibration + taint).
+* :class:`RegressionCalibrator` / :class:`MeanOnlyCalibrator` — TSC-rate
+  estimators (the paper's, and the strawman it argues against).
+* :class:`NodeState` / :class:`StateTimeline` — protocol states and the
+  availability accounting.
+* :class:`TimestampClient` — a polling client application.
+"""
+
+from repro.core.api import ClientStats, TimestampClient
+from repro.core.calibration import (
+    CalibrationSample,
+    Calibrator,
+    MeanOnlyCalibrator,
+    RegressionCalibrator,
+    regression_residuals,
+)
+from repro.core.clock import ClockAnchor, TrustedClock
+from repro.core.cluster import ClusterConfig, TA_NAME, TriadCluster, node_name
+from repro.core.node import NodeStats, NodeUnavailable, TriadNode, TriadNodeConfig
+from repro.core.states import NodeState, StateChange, StateTimeline
+from repro.core.untaint import (
+    UntaintOutcome,
+    apply_authority_untaint,
+    apply_peer_untaint,
+    select_peer_timestamp,
+)
+
+__all__ = [
+    "CalibrationSample",
+    "Calibrator",
+    "ClientStats",
+    "ClockAnchor",
+    "ClusterConfig",
+    "MeanOnlyCalibrator",
+    "NodeState",
+    "NodeStats",
+    "NodeUnavailable",
+    "RegressionCalibrator",
+    "StateChange",
+    "StateTimeline",
+    "TA_NAME",
+    "TimestampClient",
+    "TriadCluster",
+    "TriadNode",
+    "TriadNodeConfig",
+    "TrustedClock",
+    "UntaintOutcome",
+    "apply_authority_untaint",
+    "apply_peer_untaint",
+    "node_name",
+    "regression_residuals",
+    "select_peer_timestamp",
+]

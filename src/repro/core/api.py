@@ -1,0 +1,84 @@
+"""Client-facing helpers: what an application running on Triad sees.
+
+Triad exists so that applications inside TEEs can call "what time is it"
+and trust the answer. :class:`TimestampClient` models such an application:
+it polls a node at a fixed rate, recording successes (with the served
+timestamp) and refusals (node tainted or calibrating). Its request-level
+availability complements the state-timeline availability of
+:class:`~repro.core.states.StateTimeline` and is what a real deployment
+would actually observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.node import TriadNode
+from repro.errors import ConfigurationError
+from repro.sim.units import MILLISECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class ClientStats:
+    """Outcome counters of one polling client."""
+
+    successes: int = 0
+    refusals: int = 0
+    #: (poll_time_ns, served_timestamp_ns) for successful polls.
+    samples: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.successes + self.refusals
+
+    @property
+    def availability(self) -> float:
+        """Fraction of polls that were served."""
+        if self.total == 0:
+            raise ConfigurationError("no polls recorded yet")
+        return self.successes / self.total
+
+    def monotonic(self) -> bool:
+        """Whether every served timestamp was strictly greater than the last.
+
+        This is the guarantee Triad's minimal-increment policy exists to
+        provide; tests assert it under every attack scenario.
+        """
+        served = [timestamp for _, timestamp in self.samples]
+        return all(later > earlier for earlier, later in zip(served, served[1:]))
+
+
+class TimestampClient:
+    """An application polling one Triad node for timestamps."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: TriadNode,
+        poll_interval_ns: int = 100 * MILLISECOND,
+        start_delay_ns: int = 0,
+    ) -> None:
+        if poll_interval_ns <= 0:
+            raise ConfigurationError(f"poll interval must be positive, got {poll_interval_ns}")
+        self.sim = sim
+        self.node = node
+        self.poll_interval_ns = poll_interval_ns
+        self.start_delay_ns = start_delay_ns
+        self.stats = ClientStats()
+        self.process = sim.process(self._run(), name=f"client/{node.name}")
+
+    def _run(self):
+        if self.start_delay_ns:
+            yield self.sim.timeout(self.start_delay_ns)
+        while True:
+            timestamp = self.node.try_get_timestamp()
+            if timestamp is None:
+                self.stats.refusals += 1
+            else:
+                self.stats.successes += 1
+                self.stats.samples.append((self.sim.now, timestamp))
+            yield self.sim.timeout(self.poll_interval_ns)

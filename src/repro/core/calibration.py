@@ -1,0 +1,112 @@
+"""TSC-rate calibration from Time-Authority roundtrips.
+
+Triad estimates the relationship between TSC increments and reference time
+by exchanging messages with the TA, each asking it to wait a requested
+duration ``s`` before responding. One exchange bounded by two AEXs gives a
+sample ``(s, ΔTSC)`` where
+
+    ΔTSC = F_tsc · (s + rtt + attacker_delay)
+
+The paper's implementation regresses ΔTSC on ``s`` over samples with
+``s = 0`` (immediate responses) and ``s = 1 s``; the slope is F_calib, and
+the (unknown, delay-dependent) intercept absorbs the roundtrip time. This
+is what makes the F+/F− attacks possible: adding delay *selectively by s*
+tilts the slope, while adding the same delay everywhere only shifts the
+harmless intercept.
+
+The module also provides the strawman the paper argues against (§III-C):
+a mean-only estimator F = mean(ΔTSC / s), which counts the roundtrip as if
+it were sleep time and therefore **always overestimates** F (slowing the
+perceived clock) — quantified in the ABL-CAL benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.errors import CalibrationError
+from repro.sim.units import SECOND
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """One completed calibration exchange, validated AEX-free."""
+
+    sleep_ns: int
+    tsc_increment: int
+
+    def __post_init__(self) -> None:
+        if self.sleep_ns < 0:
+            raise CalibrationError(f"sleep must be non-negative, got {self.sleep_ns}")
+        if self.tsc_increment <= 0:
+            raise CalibrationError(f"TSC increment must be positive, got {self.tsc_increment}")
+
+
+class Calibrator(Protocol):
+    """Estimator of F_calib (Hz) from calibration samples."""
+
+    def estimate(self, samples: Sequence[CalibrationSample]) -> float:
+        """Return the calibrated TSC frequency in Hz."""
+        ...  # pragma: no cover
+
+
+class RegressionCalibrator:
+    """Least-squares slope of ΔTSC over requested sleep — Triad's estimator.
+
+    Requires samples at two or more distinct sleep values; the slope
+    (ticks per second of requested sleep) is F_calib directly. Constant
+    network delay cancels exactly; only delay *differences correlated with
+    s* — honest jitter or an F± attacker — bias the estimate.
+    """
+
+    def estimate(self, samples: Sequence[CalibrationSample]) -> float:
+        if len(samples) < 2:
+            raise CalibrationError(f"regression needs >= 2 samples, got {len(samples)}")
+        sleeps = [sample.sleep_ns / SECOND for sample in samples]
+        increments = [float(sample.tsc_increment) for sample in samples]
+        if max(sleeps) == min(sleeps):
+            raise CalibrationError("regression needs at least two distinct sleep values")
+        mean_s = sum(sleeps) / len(sleeps)
+        mean_i = sum(increments) / len(increments)
+        numerator = sum((s - mean_s) * (i - mean_i) for s, i in zip(sleeps, increments))
+        denominator = sum((s - mean_s) ** 2 for s in sleeps)
+        slope = numerator / denominator
+        if slope <= 0:
+            raise CalibrationError(f"non-positive frequency estimate ({slope:.3f} Hz)")
+        return slope
+
+
+class MeanOnlyCalibrator:
+    """The strawman estimator: F = mean(ΔTSC / s) over long-sleep samples.
+
+    Ignores the roundtrip entirely, so each sample overestimates F by a
+    factor (s + rtt)/s > 1. The paper's §III-C argument — "without
+    regression … the offset error would always overestimate the TSC's
+    increment rate, i.e., slow the TEE's perceived clock speed" — is this
+    estimator's bias, reproduced by the ABL-CAL benchmark.
+    """
+
+    def estimate(self, samples: Sequence[CalibrationSample]) -> float:
+        usable = [sample for sample in samples if sample.sleep_ns > 0]
+        if not usable:
+            raise CalibrationError("mean-only estimation needs samples with positive sleep")
+        rates = [sample.tsc_increment * SECOND / sample.sleep_ns for sample in usable]
+        return sum(rates) / len(rates)
+
+
+def regression_residuals(
+    samples: Sequence[CalibrationSample], frequency_hz: float
+) -> list[float]:
+    """Per-sample residuals (ns) against a fitted frequency.
+
+    The residual of sample i is ``tsc_increment/F − s``, i.e. the apparent
+    roundtrip. Useful diagnostics: under an F± attack the residuals of the
+    targeted sleep group collapse toward zero while the other group's grow,
+    a signature the hardened protocol checks for.
+    """
+    if frequency_hz <= 0:
+        raise CalibrationError(f"frequency must be positive, got {frequency_hz}")
+    return [
+        sample.tsc_increment * SECOND / frequency_hz - sample.sleep_ns for sample in samples
+    ]

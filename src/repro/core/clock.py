@@ -1,0 +1,190 @@
+"""The enclave's trusted clock: TSC ticks → trusted timestamps.
+
+A Triad node's notion of time is entirely derived from three pieces of
+state kept inside the enclave:
+
+* an **anchor**: "at TSC value ``A`` the trusted time was ``T``";
+* a **calibrated frequency** ``F_calib`` (ticks per second) relating TSC
+  increments to the Time Authority's reference time;
+* a **taint flag**: set on every AEX, cleared by a refresh from a peer or
+  the TA. While tainted, the clock keeps advancing on its own calibration
+  (the enclave has nothing better), but timestamps must not be served to
+  clients.
+
+The current trusted time is ``T + (tsc − A) / F_calib``. Everything the
+paper attacks lives here: F+/F− skew ``F_calib``; the peer-untainting
+policy rewrites the anchor. The clock also enforces the paper's
+monotonicity policy — a new reference that is not ahead of the last served
+timestamp only bumps the clock by the smallest possible increment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import CalibrationError
+from repro.hardware.tsc import TimestampCounter
+from repro.sim.units import SECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class ClockAnchor:
+    """One (TSC value, trusted time) correspondence."""
+
+    tsc_value: int
+    trusted_time_ns: int
+
+
+class TrustedClock:
+    """Enclave-resident clock state.
+
+    The clock starts uncalibrated: reading it before both a frequency and a
+    reference have been set raises :class:`CalibrationError`, mirroring a
+    Triad node that has not completed its initial FullCalib.
+    """
+
+    def __init__(self, sim: "Simulator", tsc: TimestampCounter, min_increment_ns: int = 1) -> None:
+        if min_increment_ns <= 0:
+            raise CalibrationError(f"min increment must be positive, got {min_increment_ns}")
+        self.sim = sim
+        self.tsc = tsc
+        self.min_increment_ns = min_increment_ns
+        self._frequency_hz: Optional[float] = None
+        self._anchor: Optional[ClockAnchor] = None
+        self._tainted = True
+        self._last_served_ns: Optional[int] = None
+        #: (time_ns, old_now, new_now) per reference rewrite — the paper's
+        #: "time jumps" (Fig. 3a / Fig. 6a) are read directly off this log.
+        self.reference_rewrites: list[tuple[int, int, int]] = []
+
+    # -- calibration state ---------------------------------------------------
+
+    @property
+    def calibrated(self) -> bool:
+        """Whether both frequency and reference have been set."""
+        return self._frequency_hz is not None and self._anchor is not None
+
+    @property
+    def frequency_hz(self) -> Optional[float]:
+        """The calibrated TSC frequency F_calib (None before FullCalib)."""
+        return self._frequency_hz
+
+    @property
+    def tainted(self) -> bool:
+        """Whether time continuity is currently severed."""
+        return self._tainted
+
+    def set_frequency(self, frequency_hz: float) -> None:
+        """Install a calibrated TSC rate (output of the calibration phase).
+
+        Re-anchors first so already-accumulated time is not retroactively
+        re-scaled by the new frequency.
+        """
+        if frequency_hz <= 0:
+            raise CalibrationError(f"calibrated frequency must be positive, got {frequency_hz}")
+        if self._anchor is not None and self._frequency_hz is not None:
+            self._anchor = ClockAnchor(self.tsc.read(), self.now_unchecked())
+        self._frequency_hz = frequency_hz
+
+    # -- reading ------------------------------------------------------------------
+
+    def now_unchecked(self) -> int:
+        """Current trusted time, ignoring the taint flag.
+
+        Used for drift analysis and for the node's own protocol decisions
+        (e.g. comparing a peer's timestamp with the local one). Client
+        applications must go through the node API, which refuses while
+        tainted.
+        """
+        if self._frequency_hz is None or self._anchor is None:
+            raise CalibrationError("clock read before calibration")
+        elapsed_ticks = self.tsc.read() - self._anchor.tsc_value
+        return self._anchor.trusted_time_ns + int(elapsed_ticks * SECOND / self._frequency_hz)
+
+    def serve_timestamp(self) -> int:
+        """Produce a client-visible timestamp (monotonic, must be untainted)."""
+        if self._tainted:
+            raise CalibrationError("cannot serve a tainted timestamp")
+        value = self.now_unchecked()
+        if self._last_served_ns is not None and value <= self._last_served_ns:
+            value = self._last_served_ns + self.min_increment_ns
+        self._last_served_ns = value
+        return value
+
+    # -- taint lifecycle -----------------------------------------------------------
+
+    def taint(self) -> None:
+        """Mark continuity severed (called from the AEX handler)."""
+        self._tainted = True
+
+    def untaint_with_reference(self, reference_time_ns: int) -> int:
+        """Adopt an external timestamp per the paper's policy; clears taint.
+
+        If ``reference_time_ns`` is ahead of the local clock, it becomes the
+        new reference (this is the propagation vector of the F− attack: a
+        fast peer's timestamp is always ahead, so it always wins). If it is
+        *behind*, the local timestamp is kept and only bumped by the
+        smallest increment, preserving monotonicity — a node can never be
+        pushed back in time.
+
+        Returns the new trusted "now".
+        """
+        if self._frequency_hz is None:
+            raise CalibrationError("cannot untaint before frequency calibration")
+        tsc_now = self.tsc.read()
+        if self._anchor is None:
+            new_now = reference_time_ns
+            old_now = reference_time_ns
+        else:
+            old_now = self.now_unchecked()
+            if reference_time_ns > old_now:
+                new_now = reference_time_ns
+            else:
+                new_now = old_now + self.min_increment_ns
+        self._anchor = ClockAnchor(tsc_value=tsc_now, trusted_time_ns=new_now)
+        self._tainted = False
+        self.reference_rewrites.append((self.sim.now, old_now, new_now))
+        return new_now
+
+    def set_reference(self, reference_time_ns: int) -> int:
+        """Re-anchor the clock at ``reference_time_ns``, even backwards.
+
+        Used by the hardened protocol (§V), whose consistency checks may
+        conclude the local clock ran *ahead* (e.g. after an F− infection)
+        and must be slewed back. Client-visible monotonicity is still
+        guaranteed by :meth:`serve_timestamp`'s last-served floor; only the
+        internal reference moves. The base Triad protocol never calls this
+        — its policy is :meth:`untaint_with_reference`.
+
+        Returns the new trusted "now"; does not change the taint flag.
+        """
+        if self._frequency_hz is None:
+            raise CalibrationError("cannot set a reference before frequency calibration")
+        tsc_now = self.tsc.read()
+        old_now = self.now_unchecked() if self._anchor is not None else reference_time_ns
+        self._anchor = ClockAnchor(tsc_value=tsc_now, trusted_time_ns=reference_time_ns)
+        self.reference_rewrites.append((self.sim.now, old_now, reference_time_ns))
+        return reference_time_ns
+
+    def untaint_in_place(self) -> int:
+        """Clear the taint without changing the clock (hardened protocol).
+
+        Used when a consistency check concluded the local clock is still a
+        true-chimer, so no rewrite is needed.
+        """
+        if not self.calibrated:
+            raise CalibrationError("cannot untaint an uncalibrated clock")
+        self._tainted = False
+        return self.now_unchecked()
+
+    def drift_ns(self) -> int:
+        """Signed offset of the trusted clock from simulation reference time.
+
+        Analysis-only (uses the simulator's omniscient clock); this is the
+        y-axis of every drift figure in the paper.
+        """
+        return self.now_unchecked() - self.sim.now

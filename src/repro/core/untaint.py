@@ -1,0 +1,110 @@
+"""Peer-untainting policy — and the attack-propagation vector.
+
+After an AEX, a tainted node asks its cluster peers for timestamps. The
+original Triad policy for each received timestamp (§III-D):
+
+* if the incoming timestamp is **higher** than the local one, it becomes
+  the new reference;
+* otherwise the local timestamp is only increased by the smallest possible
+  increment (monotonicity for client applications).
+
+Nodes can therefore never be moved back in time — but the cluster always
+follows its **fastest** clock. A single node whose calibration was skewed
+fast (the F− attack) is permanently ahead of every honest peer, so every
+honest node that untaints through it jumps forward, becomes itself ahead of
+the remaining honest nodes, and propagates the infection onward. That
+cascade is the paper's headline result, and this module is the exact code
+path that causes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.clock import TrustedClock
+from repro.messages import PeerTimeResponse
+
+
+@dataclass(frozen=True)
+class UntaintOutcome:
+    """Result of applying the peer policy once."""
+
+    time_ns: int
+    source: str  # "peer:<name>", "authority", or "none"
+    old_now_ns: int
+    new_now_ns: int
+    jumped_forward: bool
+
+    @property
+    def jump_ns(self) -> int:
+        """Forward jump magnitude (0 when only the minimal bump applied)."""
+        return self.new_now_ns - self.old_now_ns if self.jumped_forward else 0
+
+
+def select_peer_timestamp(
+    responses: Sequence[tuple[str, PeerTimeResponse]]
+) -> tuple[str, int]:
+    """Pick the winning peer timestamp under the original Triad policy.
+
+    Applying the per-timestamp rule over all received responses is
+    equivalent to adopting the **maximum** received timestamp (each higher
+    timestamp displaces the reference again). Returns ``(peer_name,
+    timestamp_ns)``; raises if no responses were received.
+    """
+    if not responses:
+        raise ValueError("no peer responses to select from")
+    best_name, best_response = responses[0]
+    for name, response in responses[1:]:
+        if response.timestamp_ns > best_response.timestamp_ns:
+            best_name, best_response = name, response
+    return best_name, best_response.timestamp_ns
+
+
+def apply_peer_untaint(
+    clock: TrustedClock,
+    responses: Sequence[tuple[str, PeerTimeResponse]],
+    now_ns: int,
+) -> UntaintOutcome:
+    """Apply the original policy to a set of peer responses.
+
+    ``now_ns`` is the simulation instant, recorded for analysis only.
+    """
+    peer_name, timestamp_ns = select_peer_timestamp(responses)
+    old_now = clock.now_unchecked()
+    new_now = clock.untaint_with_reference(timestamp_ns)
+    return UntaintOutcome(
+        time_ns=now_ns,
+        source=f"peer:{peer_name}",
+        old_now_ns=old_now,
+        new_now_ns=new_now,
+        jumped_forward=timestamp_ns > old_now,
+    )
+
+
+def apply_authority_untaint(
+    clock: TrustedClock, reference_time_ns: int, now_ns: int
+) -> UntaintOutcome:
+    """Adopt a Time Authority reference.
+
+    The TA is the root of trust, so its reference is adopted *as is* —
+    including backwards: this is what makes drifts "reset to 0" at every
+    RefCalib in the paper's Fig. 2a. Client-visible monotonicity is still
+    preserved by the serve-time last-served floor, not by refusing the
+    correction. (Contrast with the peer policy above, which never moves
+    the clock back and thereby lets the fastest clock win.)
+    """
+    if clock.calibrated:
+        old_now = clock.now_unchecked()
+        new_now = clock.set_reference(reference_time_ns)
+        clock.untaint_in_place()
+    else:
+        old_now = reference_time_ns
+        new_now = clock.untaint_with_reference(reference_time_ns)
+    return UntaintOutcome(
+        time_ns=now_ns,
+        source="authority",
+        old_now_ns=old_now,
+        new_now_ns=new_now,
+        jumped_forward=reference_time_ns > old_now,
+    )

@@ -1,0 +1,37 @@
+"""Project-wide exception hierarchy.
+
+Subsystems raise their own specific exceptions; all of them derive from
+:class:`ReproError` so callers can catch everything from this library with a
+single except clause without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or component was configured inconsistently."""
+
+
+class ProtocolError(ReproError):
+    """A protocol participant received a message it cannot process."""
+
+
+class CryptoError(ReproError):
+    """Authenticated decryption failed (wrong key or tampered ciphertext)."""
+
+
+class CalibrationError(ReproError):
+    """Clock calibration could not be computed from the available samples."""
+
+
+class MonitoringAlert(ReproError):
+    """The in-enclave TSC monitor detected a discrepancy.
+
+    Raised (or recorded, depending on policy) when INC-counting over a TSC
+    window deviates beyond the calibrated tolerance — the signal Triad uses
+    to detect TSC rate/offset manipulation.
+    """

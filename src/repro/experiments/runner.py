@@ -1,0 +1,68 @@
+"""Experiment harness: a configured cluster plus probes, ready to run.
+
+Every paper figure/table maps to a builder in
+:mod:`repro.experiments.scenarios` returning an :class:`Experiment`; the
+reductions to figure data live in :mod:`repro.experiments.figures`. The
+split keeps scenario wiring (who gets which AEX environment, where the
+attacker sits) separate from measurement post-processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.metrics import DriftRecorder, DriftSeries
+from repro.core.cluster import TriadCluster
+from repro.core.node import TriadNode
+from repro.errors import ConfigurationError
+from repro.net.adversary import NetworkAdversary
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class Experiment:
+    """A wired scenario: simulator, cluster, probes, optional attackers."""
+
+    name: str
+    sim: "Simulator"
+    cluster: TriadCluster
+    recorder: DriftRecorder
+    attackers: list[NetworkAdversary] = field(default_factory=list)
+    notes: str = ""
+    duration_ns: int = 0
+
+    def run(self, duration_ns: int) -> "Experiment":
+        """Advance the simulation to ``duration_ns`` and return self."""
+        if duration_ns <= self.sim.now:
+            raise ConfigurationError(
+                f"duration {duration_ns} must exceed current time {self.sim.now}"
+            )
+        self.sim.run(until=duration_ns)
+        self.duration_ns = duration_ns
+        return self
+
+    # -- post-run accessors ------------------------------------------------------
+
+    def node(self, index: int) -> TriadNode:
+        """The index-th node (1-based, paper numbering)."""
+        return self.cluster.node(index)
+
+    def drift(self, index: int) -> DriftSeries:
+        """Drift series of the index-th node."""
+        return self.recorder[self.cluster.node(index).name]
+
+    def frequency_mhz(self, index: int) -> float:
+        """Latest calibrated F_calib of the index-th node, in MHz."""
+        frequency = self.node(index).stats.latest_frequency_hz
+        if frequency is None:
+            raise ConfigurationError(f"node {index} never completed calibration")
+        return frequency / 1e6
+
+    def availability(self, index: int) -> float:
+        """State-timeline availability of the index-th node over the run."""
+        if not self.duration_ns:
+            raise ConfigurationError("experiment has not been run yet")
+        return self.node(index).timeline.availability(self.duration_ns)

@@ -1,0 +1,270 @@
+"""Declarative experiment specifications.
+
+A reproduction is only useful if others can run *variations* without
+editing code. :class:`ExperimentSpec` is a JSON-serializable description
+of a full scenario — cluster shape, per-node AEX environments, protocol
+variant, attacks, duration — that compiles into a wired
+:class:`~repro.experiments.runner.Experiment`:
+
+```json
+{
+  "name": "my-fminus-variant",
+  "seed": 42,
+  "duration_s": 300,
+  "nodes": 3,
+  "protocol": "hardened",
+  "environments": {"1": "triad-like", "2": "triad-like", "3": "triad-like"},
+  "machine_wide_mean_s": 324,
+  "attacks": [
+    {"type": "fminus", "victim": 3, "delay_ms": 100},
+    {"type": "aex-onset", "nodes": [1, 2], "at_s": 104}
+  ]
+}
+```
+
+``python -m repro run-spec my.json`` executes it and prints the standard
+drift table. Unknown keys are rejected — a typo must fail loudly, not
+silently run a different experiment.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.attacks.delay import AttackMode, CalibrationDelayAttacker
+from repro.attacks.dos import TaBlackholeAttack
+from repro.attacks.scheduler import at
+from repro.attacks.tscattack import TscOffsetAttack, TscScaleAttack
+from repro.core.cluster import ClusterConfig, TA_NAME, node_name
+from repro.errors import ConfigurationError
+from repro.experiments.runner import Experiment
+from repro.experiments.scenarios import AexEnvironment, build_experiment
+from repro.hardened.node import HardenedNodeConfig, HardenedTriadNode
+from repro.sim.units import MILLISECOND, SECOND
+
+#: Recognized protocol variants.
+PROTOCOLS = ("original", "hardened")
+
+#: Recognized attack types and their required keys.
+ATTACK_TYPES = {
+    "fplus": {"victim"},
+    "fminus": {"victim"},
+    "ta-blackhole": set(),
+    "tsc-scale": {"scale", "at_s"},
+    "tsc-offset": {"offset_ticks", "at_s"},
+    "aex-onset": {"nodes", "at_s"},
+    "aex-suppress": {"nodes"},
+}
+
+_SPEC_KEYS = {
+    "name",
+    "seed",
+    "duration_s",
+    "nodes",
+    "protocol",
+    "environments",
+    "machine_wide_mean_s",
+    "machine_wide_correlation",
+    "ta_count",
+    "attacks",
+}
+
+
+@dataclass
+class ExperimentSpec:
+    """A validated, serializable experiment description."""
+
+    name: str
+    seed: int = 1
+    duration_s: float = 300.0
+    nodes: int = 3
+    protocol: str = "original"
+    #: node index (int) -> "triad-like" | "low-aex"; unlisted: "low-aex".
+    environments: dict[int, str] = field(default_factory=dict)
+    machine_wide_mean_s: Optional[float] = 324.0
+    machine_wide_correlation: float = 0.95
+    ta_count: int = 1
+    attacks: list[dict[str, Any]] = field(default_factory=list)
+
+    # -- construction & validation -------------------------------------------
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("spec needs a name")
+        if self.duration_s <= 0:
+            raise ConfigurationError(f"duration must be positive, got {self.duration_s}")
+        if self.nodes < 1:
+            raise ConfigurationError(f"need at least one node, got {self.nodes}")
+        if self.protocol not in PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}"
+            )
+        self.environments = {int(k): v for k, v in self.environments.items()}
+        for index, environment in self.environments.items():
+            if not 1 <= index <= self.nodes:
+                raise ConfigurationError(f"environment for unknown node {index}")
+            if environment not in ("triad-like", "low-aex"):
+                raise ConfigurationError(f"unknown environment {environment!r}")
+        for attack in self.attacks:
+            self._validate_attack(attack)
+
+    def _validate_attack(self, attack: dict[str, Any]) -> None:
+        kind = attack.get("type")
+        if kind not in ATTACK_TYPES:
+            raise ConfigurationError(
+                f"unknown attack type {kind!r}; choose from {sorted(ATTACK_TYPES)}"
+            )
+        missing = ATTACK_TYPES[kind] - set(attack)
+        if missing:
+            raise ConfigurationError(f"attack {kind!r} missing keys: {sorted(missing)}")
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "ExperimentSpec":
+        unknown = set(raw) - _SPEC_KEYS
+        if unknown:
+            raise ConfigurationError(f"unknown spec keys: {sorted(unknown)}")
+        return cls(**raw)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid JSON: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise ConfigurationError("spec JSON must be an object")
+        return cls.from_dict(raw)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentSpec":
+        return cls.from_json(Path(path).read_text())
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "seed": self.seed,
+                "duration_s": self.duration_s,
+                "nodes": self.nodes,
+                "protocol": self.protocol,
+                "environments": {str(k): v for k, v in self.environments.items()},
+                "machine_wide_mean_s": self.machine_wide_mean_s,
+                "machine_wide_correlation": self.machine_wide_correlation,
+                "ta_count": self.ta_count,
+                "attacks": self.attacks,
+            },
+            indent=2,
+        )
+
+    # -- compilation ------------------------------------------------------------
+
+    @property
+    def duration_ns(self) -> int:
+        return int(self.duration_s * SECOND)
+
+    def build(self) -> Experiment:
+        """Wire the experiment (does not run it)."""
+        environments = {
+            index: (
+                AexEnvironment.TRIAD_LIKE
+                if self.environments.get(index, "low-aex") == "triad-like"
+                else AexEnvironment.LOW_AEX
+            )
+            for index in range(1, self.nodes + 1)
+        }
+        if self.protocol == "hardened":
+            cluster_config = ClusterConfig(
+                node_count=self.nodes,
+                ta_count=self.ta_count,
+                node_class=HardenedTriadNode,
+                node_config=HardenedNodeConfig(),
+            )
+        else:
+            cluster_config = ClusterConfig(node_count=self.nodes, ta_count=self.ta_count)
+
+        machine_wide_mean = (
+            None
+            if self.machine_wide_mean_s is None
+            else int(self.machine_wide_mean_s * SECOND)
+        )
+        experiment = build_experiment(
+            name=self.name,
+            seed=self.seed,
+            environments=environments,
+            machine_wide_mean_ns=machine_wide_mean,
+            machine_wide_correlation=self.machine_wide_correlation,
+            cluster_config=cluster_config,
+            notes=f"spec:{self.name}",
+        )
+        for attack in self.attacks:
+            self._apply_attack(experiment, attack)
+        return experiment
+
+    def run(self) -> Experiment:
+        """Build and run to the configured duration."""
+        return self.build().run(self.duration_ns)
+
+    def _apply_attack(self, experiment: Experiment, attack: dict[str, Any]) -> None:
+        kind = attack["type"]
+        sim = experiment.sim
+        cluster = experiment.cluster
+        primary_ta = cluster.tas[0].name
+        if kind in ("fplus", "fminus"):
+            adversary = CalibrationDelayAttacker(
+                sim,
+                victim_host=node_name(int(attack["victim"])),
+                ta_host=primary_ta,
+                mode=AttackMode.F_PLUS if kind == "fplus" else AttackMode.F_MINUS,
+                added_delay_ns=int(attack.get("delay_ms", 100)) * MILLISECOND,
+            )
+            cluster.network.add_adversary(adversary)
+            experiment.attackers.append(adversary)
+        elif kind == "ta-blackhole":
+            victims = attack.get("victims")
+            adversary = TaBlackholeAttack(
+                sim,
+                ta_host=primary_ta,
+                victims={node_name(int(v)) for v in victims} if victims else None,
+                start_ns=int(attack.get("start_s", 0) * SECOND),
+                stop_ns=(
+                    int(attack["stop_s"] * SECOND) if "stop_s" in attack else None
+                ),
+            )
+            cluster.network.add_adversary(adversary)
+            experiment.attackers.append(adversary)
+        elif kind == "tsc-scale":
+            machine = cluster.node_machines[int(attack.get("victim", 1)) - 1]
+            TscScaleAttack(
+                sim, machine.tsc, at_ns=int(attack["at_s"] * SECOND), scale=float(attack["scale"])
+            )
+        elif kind == "tsc-offset":
+            machine = cluster.node_machines[int(attack.get("victim", 1)) - 1]
+            TscOffsetAttack(
+                sim,
+                machine.tsc,
+                at_ns=int(attack["at_s"] * SECOND),
+                offset_ticks=int(attack["offset_ticks"]),
+            )
+        elif kind == "aex-onset":
+            for index in attack["nodes"]:
+                source = self._node_source(cluster, int(index))
+                source.pause()
+                at(sim, int(attack["at_s"] * SECOND), source.resume, name=f"onset-{index}")
+        elif kind == "aex-suppress":
+            for index in attack["nodes"]:
+                self._node_source(cluster, int(index)).pause()
+
+    @staticmethod
+    def _node_source(cluster, index: int):
+        machine = cluster.node_machines[index - 1]
+        core = cluster.monitoring_cores[index - 1]
+        source = machine.aex_sources.get(core)
+        if source is None:
+            raise ConfigurationError(
+                f"node {index} has no AEX source to control — give it the "
+                f"'triad-like' environment in the spec"
+            )
+        return source

@@ -1,0 +1,236 @@
+"""Parameter sweeps: how the paper's effects scale beyond its set points.
+
+The paper evaluates single parameter points (100 ms attacker delay, three
+nodes, one network). These sweeps map the surrounding space — each returns
+a list of :class:`SweepPoint` rows ready for tabulation:
+
+* :func:`attack_delay_sweep` — F± tilt and drift rate vs injected delay
+  (validates the closed form ``F_calib = F_tsc·(1 ± d/Δs)`` end-to-end);
+* :func:`jitter_sweep` — honest calibration error vs network jitter (the
+  mechanism behind the paper's ±30–220 ppm calibration band);
+* :func:`cluster_size_sweep` — F− infection speed vs cluster size (the
+  propagation cascade does not dilute with more honest nodes);
+* :func:`aex_rate_sweep` — availability and drift exposure vs AEX rate
+  (the availability/refresh-frequency trade-off of §IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.metrics import DriftRecorder
+from repro.analysis.stats import drift_rate_ms_per_s
+from repro.attacks.delay import AttackMode, CalibrationDelayAttacker
+from repro.core.cluster import ClusterConfig, TA_NAME, TriadCluster
+from repro.core.node import TriadNodeConfig
+from repro.hardware.aex import ExponentialAexDelays, TriadLikeAexDelays
+from repro.net.delays import ConstantDelay, LogNormalDelay
+from repro.sim.kernel import Simulator
+from repro.sim.units import MICROSECOND, MILLISECOND, MINUTE, SECOND
+
+
+@dataclass
+class SweepPoint:
+    """One row of a sweep: the swept value plus measured metrics."""
+
+    parameter: str
+    value: float
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def row(self, metric_names: Sequence[str]) -> list:
+        return [self.value] + [self.metrics.get(name, float("nan")) for name in metric_names]
+
+
+def _fast_config(**overrides) -> TriadNodeConfig:
+    defaults = dict(
+        calibration_rounds=2,
+        monitor_calibration_samples=4,
+    )
+    defaults.update(overrides)
+    return TriadNodeConfig(**defaults)
+
+
+def attack_delay_sweep(
+    mode: AttackMode,
+    delays_ns: Sequence[int] = (10 * MILLISECOND, 50 * MILLISECOND, 100 * MILLISECOND, 200 * MILLISECOND),
+    seed: int = 400,
+    settle_ns: int = 30 * SECOND,
+    measure_ns: int = 60 * SECOND,
+) -> list[SweepPoint]:
+    """Victim frequency skew and drift rate as a function of attack delay."""
+    points = []
+    for delay_ns in delays_ns:
+        sim = Simulator(seed=seed)
+        cluster = TriadCluster(
+            sim,
+            ClusterConfig(
+                delay_model=ConstantDelay(100 * MICROSECOND),
+                node_config=_fast_config(),
+            ),
+        )
+        attacker = CalibrationDelayAttacker(
+            sim, victim_host="node-3", ta_host=TA_NAME, mode=mode, added_delay_ns=delay_ns
+        )
+        cluster.network.add_adversary(attacker)
+        sim.run(until=settle_ns)
+        node = cluster.node(3)
+        samples = []
+
+        def probe():
+            while True:
+                yield sim.timeout(SECOND)
+                samples.append((sim.now, node.drift_ns()))
+
+        sim.process(probe())
+        sim.run(until=settle_ns + measure_ns)
+        skew = node.stats.latest_frequency_hz / cluster.machine.tsc.frequency_hz
+        sign = 1 if mode is AttackMode.F_PLUS else -1
+        points.append(
+            SweepPoint(
+                parameter="attack_delay_ms",
+                value=delay_ns / 1e6,
+                metrics={
+                    "skew_measured": skew,
+                    "skew_predicted": 1 + sign * delay_ns / SECOND,
+                    "drift_ms_per_s": drift_rate_ms_per_s(samples),
+                },
+            )
+        )
+    return points
+
+
+def jitter_sweep(
+    sigmas: Sequence[float] = (0.05, 0.15, 0.35, 0.7),
+    median_ns: int = 150 * MICROSECOND,
+    seeds: Sequence[int] = tuple(range(420, 428)),
+) -> list[SweepPoint]:
+    """Honest calibration error spread vs network jitter (no attacks)."""
+    points = []
+    for sigma in sigmas:
+        errors_ppm = []
+        for seed in seeds:
+            sim = Simulator(seed=seed)
+            cluster = TriadCluster(
+                sim,
+                ClusterConfig(
+                    node_count=1,
+                    delay_model=LogNormalDelay(median_ns=median_ns, sigma=sigma),
+                    node_config=_fast_config(monitor_enabled=False),
+                ),
+            )
+            sim.run(until=30 * SECOND)
+            frequency = cluster.node(1).stats.latest_frequency_hz
+            errors_ppm.append((frequency / cluster.machine.tsc.frequency_hz - 1) * 1e6)
+        spread = max(errors_ppm) - min(errors_ppm)
+        mean_abs = sum(abs(e) for e in errors_ppm) / len(errors_ppm)
+        points.append(
+            SweepPoint(
+                parameter="jitter_sigma",
+                value=sigma,
+                metrics={"mean_abs_error_ppm": mean_abs, "error_spread_ppm": spread},
+            )
+        )
+    return points
+
+
+def cluster_size_sweep(
+    sizes: Sequence[int] = (3, 5, 7),
+    seed: int = 440,
+    duration_ns: int = 3 * MINUTE,
+) -> list[SweepPoint]:
+    """F− infection of growing honest majorities.
+
+    The original policy offers no herd immunity: however many honest
+    nodes exist, each follows the fastest clock it hears. Measures the
+    fraction of honest nodes infected (drift > 1 s) and the time until
+    the last one fell.
+    """
+    points = []
+    for size in sizes:
+        sim = Simulator(seed=seed)
+        cluster = TriadCluster(
+            sim,
+            ClusterConfig(
+                node_count=size,
+                delay_model=ConstantDelay(100 * MICROSECOND),
+                node_config=_fast_config(),
+            ),
+        )
+        for core in cluster.monitoring_cores:
+            cluster.machine.add_aex_source(core, TriadLikeAexDelays())
+        attacker = CalibrationDelayAttacker(
+            sim,
+            victim_host=f"node-{size}",
+            ta_host=TA_NAME,
+            mode=AttackMode.F_MINUS,
+        )
+        cluster.network.add_adversary(attacker)
+        recorder = DriftRecorder(sim, cluster.nodes, interval_ns=SECOND)
+        sim.run(until=duration_ns)
+
+        honest = cluster.nodes[:-1]
+        infected_times = []
+        for node in honest:
+            series = recorder[node.name].samples
+            first_infected = next((t for t, d in series if d > SECOND), None)
+            if first_infected is not None:
+                infected_times.append(first_infected)
+        points.append(
+            SweepPoint(
+                parameter="cluster_size",
+                value=float(size),
+                metrics={
+                    "honest_nodes": len(honest),
+                    "infected_fraction": len(infected_times) / len(honest),
+                    "last_infection_s": (
+                        max(infected_times) / SECOND if infected_times else float("nan")
+                    ),
+                },
+            )
+        )
+    return points
+
+
+def aex_rate_sweep(
+    mean_delays_ns: Sequence[int] = (100 * MILLISECOND, SECOND, 10 * SECOND, 60 * SECOND),
+    seed: int = 460,
+    duration_ns: int = 5 * MINUTE,
+) -> list[SweepPoint]:
+    """Availability and TA load vs AEX rate (exponential inter-AEX).
+
+    Calibration exchanges must fit between AEXs: with a 100 ms mean
+    inter-AEX delay, a 1 s-sleep exchange is never AEX-free (the paper's
+    §III-C observation that inter-AEX delays bound the usable waittimes),
+    so this sweep calibrates with {0, 50 ms} sleeps throughout.
+    """
+    points = []
+    for mean_ns in mean_delays_ns:
+        sim = Simulator(seed=seed)
+        cluster = TriadCluster(
+            sim,
+            ClusterConfig(
+                delay_model=ConstantDelay(100 * MICROSECOND),
+                node_config=_fast_config(
+                    calibration_sleeps_ns=(0, 50 * MILLISECOND),
+                    calibration_max_attempts=1000,
+                ),
+            ),
+        )
+        for core in cluster.monitoring_cores:
+            cluster.machine.add_aex_source(core, ExponentialAexDelays(mean_ns))
+        sim.run(until=duration_ns)
+        node = cluster.node(1)
+        points.append(
+            SweepPoint(
+                parameter="mean_inter_aex_s",
+                value=mean_ns / SECOND,
+                metrics={
+                    "availability": node.timeline.availability(duration_ns),
+                    "aex_count": node.stats.aex_count,
+                    "peer_untaints": node.stats.peer_untaints,
+                    "ta_references": node.stats.ta_references,
+                },
+            )
+        )
+    return points

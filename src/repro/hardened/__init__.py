@@ -1,0 +1,19 @@
+"""The §V hardened Triad protocol: deadlines, NTP discipline, true-chimers."""
+
+from repro.hardened.chimers import ChimerResult, ClockReading, majority_chimers, marzullo
+from repro.hardened.deadlines import TscDeadlineTimer
+from repro.hardened.node import HardenedNodeConfig, HardenedStats, HardenedTriadNode
+from repro.hardened.registry import ChimerRegistry, ChimerReport
+
+__all__ = [
+    "ChimerRegistry",
+    "ChimerReport",
+    "ChimerResult",
+    "ClockReading",
+    "HardenedNodeConfig",
+    "HardenedStats",
+    "HardenedTriadNode",
+    "TscDeadlineTimer",
+    "majority_chimers",
+    "marzullo",
+]

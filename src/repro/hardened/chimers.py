@@ -1,0 +1,126 @@
+"""Marzullo's algorithm and true-chimer selection.
+
+Standard clock synchronization (Marzullo & Owicki 1983; NTP's clock select)
+treats each clock as an **interval** ``[t − e, t + e]`` where ``e`` bounds
+its possible error. Clocks whose intervals share a non-empty intersection
+are mutually *consistent*; the largest such group are the **true-chimers**,
+and the intersection of their intervals is where the true time must lie if
+a majority of clocks is honest.
+
+This is the paper's §V recipe for fixing Triad's peer-untaint policy: an
+F−-infected node's clock races ahead of every honest interval, so it simply
+stops being a true-chimer and its timestamps get ignored — instead of being
+adopted *because* they are largest, as the original policy does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClockReading:
+    """One clock's claimed time with its error bound."""
+
+    source: str
+    timestamp_ns: int
+    error_bound_ns: int
+
+    def __post_init__(self) -> None:
+        if self.error_bound_ns < 0:
+            raise ConfigurationError(
+                f"error bound must be non-negative, got {self.error_bound_ns}"
+            )
+
+    @property
+    def low_ns(self) -> int:
+        return self.timestamp_ns - self.error_bound_ns
+
+    @property
+    def high_ns(self) -> int:
+        return self.timestamp_ns + self.error_bound_ns
+
+
+@dataclass(frozen=True)
+class ChimerResult:
+    """Output of Marzullo's algorithm over a set of readings."""
+
+    #: Best intersection interval (inclusive bounds).
+    low_ns: int
+    high_ns: int
+    #: Number of readings overlapping the best interval.
+    count: int
+    #: Sources of those readings — the true-chimers.
+    chimers: tuple[str, ...]
+
+    @property
+    def midpoint_ns(self) -> int:
+        """Centre of the intersection — the synthesized consensus time."""
+        return (self.low_ns + self.high_ns) // 2
+
+    def contains(self, reading: ClockReading) -> bool:
+        """Whether a reading's interval overlaps the consensus interval."""
+        return reading.low_ns <= self.high_ns and reading.high_ns >= self.low_ns
+
+
+def marzullo(readings: Sequence[ClockReading]) -> ChimerResult:
+    """Find the interval overlapped by the maximum number of readings.
+
+    Classic sweep: every interval contributes a ``+1`` edge at its low end
+    and ``−1`` just past its high end; the best interval is where the
+    running count peaks. Ties are broken toward the earliest (lowest)
+    interval, matching the original algorithm. O(n log n).
+    """
+    if not readings:
+        raise ConfigurationError("marzullo needs at least one reading")
+    edges: list[tuple[int, int]] = []
+    for reading in readings:
+        edges.append((reading.low_ns, -1))  # -1 sorts starts before ends at ties
+        edges.append((reading.high_ns, +1))
+    edges.sort()
+
+    best_count = 0
+    best_low = 0
+    best_high = 0
+    current = 0
+    for i, (position, kind) in enumerate(edges):
+        if kind == -1:
+            current += 1
+            if current > best_count:
+                best_count = current
+                best_low = position
+                # The overlap extends to the next edge position.
+                best_high = edges[i + 1][0] if i + 1 < len(edges) else position
+        else:
+            current -= 1
+
+    chimers = tuple(
+        reading.source
+        for reading in readings
+        if reading.low_ns <= best_high and reading.high_ns >= best_low
+    )
+    return ChimerResult(low_ns=best_low, high_ns=best_high, count=best_count, chimers=chimers)
+
+
+def majority_chimers(
+    readings: Sequence[ClockReading], total_clocks: int
+) -> ChimerResult | None:
+    """Marzullo restricted to an honest-majority assumption.
+
+    Returns the chimer result only if the best intersection is supported by
+    a strict majority of ``total_clocks`` (the cluster size, not just the
+    readings that happened to arrive); otherwise ``None`` — the caller
+    cannot distinguish honest from compromised clocks and must fall back to
+    the Time Authority.
+    """
+    if total_clocks <= 0:
+        raise ConfigurationError(f"total clock count must be positive, got {total_clocks}")
+    if not readings:
+        return None
+    result = marzullo(readings)
+    if result.count * 2 <= total_clocks:
+        return None
+    return result

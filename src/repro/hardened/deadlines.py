@@ -1,0 +1,66 @@
+"""In-TCB deadline triggers (paper §V, first proposal).
+
+In the original Triad, every timestamp refresh is caused by an AEX — an
+event *outside* the TCB, produced by the attacker-controlled OS. Suppress
+interrupts, and a compromised node's miscalibrated clock free-runs forever
+(this is what makes Fig. 4's F+ attack durable).
+
+The fix is a trigger the attacker cannot remove: a deadline measured in
+**TSC increments** by the enclave itself. When the counter advances past
+the deadline, the enclave proactively checks its timestamp quality. The
+attacker can still *delay* the check's network exchanges, but can no
+longer prevent the check from being attempted.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ConfigurationError
+from repro.hardware.tsc import TimestampCounter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class TscDeadlineTimer:
+    """Fires a callback every ``interval_ticks`` TSC increments.
+
+    The wait is computed from actual TSC reads (re-checked after each
+    sleep), so hypervisor rate manipulation changes the *real-time* spacing
+    of deadlines but never silences them — which is the security property
+    the hardened protocol needs.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        tsc: TimestampCounter,
+        interval_ticks: int,
+        callback: Callable[[], None],
+        name: str = "tsc-deadline",
+    ) -> None:
+        if interval_ticks <= 0:
+            raise ConfigurationError(f"deadline interval must be positive, got {interval_ticks}")
+        self.sim = sim
+        self.tsc = tsc
+        self.interval_ticks = interval_ticks
+        self.callback = callback
+        self.fire_count = 0
+        self.process = sim.process(self._run(), name=name)
+
+    def _run(self):
+        # Sleep in chunks of at most an eighth of the interval: the real
+        # thread re-reads the TSC continuously, so a forward jump must pull
+        # the deadline in promptly rather than after a full stale sleep.
+        max_chunk_ticks = max(self.interval_ticks // 8, 1)
+        while True:
+            target = self.tsc.read() + self.interval_ticks
+            while True:
+                remaining = target - self.tsc.read()
+                if remaining <= 0:
+                    break
+                chunk = min(remaining, max_chunk_ticks)
+                yield self.sim.timeout(max(self.tsc.duration_for_ticks(chunk), 1))
+            self.fire_count += 1
+            self.callback()

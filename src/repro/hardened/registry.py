@@ -1,0 +1,125 @@
+"""True-chimer publication and compromised-node identification (§V).
+
+The paper's discussion proposes that nodes "publish, e.g., on a
+blockchain, or simply to other nodes, their list of true-chimers", and
+that "nodes with the highest timestamp obtained from the TA have the most
+credibility to be honest". This module provides that bulletin board:
+
+* hardened nodes publish a :class:`ChimerReport` after every peer-untaint
+  consistency check (who they saw, who was consistent, when they last
+  heard the TA);
+* :class:`ChimerRegistry` aggregates reports into **suspect scores** — the
+  fraction of *other* nodes' recent reports that observed a node and found
+  it inconsistent. Under an F− attack the infected node races ahead of
+  every honest interval, so every honest report excludes it and its score
+  goes to 1.0, identifying the compromised machine for the operator.
+
+The registry models an idealized append-only board (a blockchain's
+consistency without its latency); all consistency decisions were already
+made inside TEEs, so the board only needs availability and ordering.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class ChimerReport:
+    """One node's published view of its cluster's clock consistency."""
+
+    time_ns: int
+    reporter: str
+    #: Peers whose readings the reporter observed in this check.
+    observed: tuple[str, ...]
+    #: Subset of ``observed`` (plus possibly the reporter) found mutually
+    #: consistent (the true-chimers).
+    chimers: tuple[str, ...]
+    #: The reporter's latest TA reference timestamp — its credibility
+    #: anchor per the paper's proposal.
+    last_ta_timestamp_ns: Optional[int]
+
+    def excluded(self) -> tuple[str, ...]:
+        """Observed peers that were not true-chimers."""
+        chimer_set = set(self.chimers)
+        return tuple(name for name in self.observed if name not in chimer_set)
+
+
+class ChimerRegistry:
+    """Append-only board of chimer reports with suspect scoring."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.reports: list[ChimerReport] = []
+
+    def publish(self, report: ChimerReport) -> None:
+        """Append a report (TEE-signed in a real deployment)."""
+        if report.time_ns > self.sim.now:
+            raise ConfigurationError("cannot publish a report from the future")
+        self.reports.append(report)
+
+    # -- analysis -----------------------------------------------------------------
+
+    def recent_reports(self, window_ns: Optional[int] = None) -> list[ChimerReport]:
+        """Reports within the trailing window (all if ``None``)."""
+        if window_ns is None:
+            return list(self.reports)
+        horizon = self.sim.now - window_ns
+        return [report for report in self.reports if report.time_ns >= horizon]
+
+    def suspect_scores(self, window_ns: Optional[int] = None) -> dict[str, float]:
+        """Per-node fraction of third-party observations that excluded it.
+
+        Only counts reports from *other* nodes that actually observed the
+        node — a node cannot vouch for (or frame) itself, and silence is
+        not evidence.
+        """
+        observed_count: dict[str, int] = defaultdict(int)
+        excluded_count: dict[str, int] = defaultdict(int)
+        for report in self.recent_reports(window_ns):
+            for name in report.observed:
+                if name == report.reporter:
+                    continue
+                observed_count[name] += 1
+            for name in report.excluded():
+                if name == report.reporter:
+                    continue
+                excluded_count[name] += 1
+        return {
+            name: excluded_count[name] / observed_count[name]
+            for name in observed_count
+        }
+
+    def suspects(
+        self, threshold: float = 0.5, window_ns: Optional[int] = None
+    ) -> list[str]:
+        """Nodes excluded by more than ``threshold`` of observations."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigurationError(f"threshold must be in [0,1], got {threshold}")
+        scores = self.suspect_scores(window_ns)
+        return sorted(name for name, score in scores.items() if score > threshold)
+
+    def most_credible_reporter(self, window_ns: Optional[int] = None) -> Optional[str]:
+        """The reporter with the highest (most recent) TA timestamp.
+
+        Per the paper: recent direct TA contact is the strongest evidence
+        of honesty an on-board judgement can use, because an attacker can
+        delay a compromised node's TA exchanges (pushing its reference
+        into the past) but cannot forge a *fresher* one.
+        """
+        best_name: Optional[str] = None
+        best_timestamp = -1
+        for report in self.recent_reports(window_ns):
+            if report.last_ta_timestamp_ns is None:
+                continue
+            if report.last_ta_timestamp_ns > best_timestamp:
+                best_timestamp = report.last_ta_timestamp_ns
+                best_name = report.reporter
+        return best_name

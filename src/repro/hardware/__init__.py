@@ -1,0 +1,69 @@
+"""Hardware models: TSC, CPU cores, AEX delivery, INC monitoring, MSRs.
+
+These models replace the paper's Intel SGX2 testbed (see DESIGN.md §2 for
+the substitution rationale). They expose exactly the knobs the paper's
+attacker has — TSC offset/scaling at the hypervisor, AEX injection and
+suppression at the OS — and exactly the signals the protocol consumes —
+``rdtsc`` reads, AEX-Notify callbacks, INC-loop counts.
+"""
+
+from repro.hardware.aex import (
+    AexEvent,
+    AexPort,
+    AexSource,
+    ExponentialAexDelays,
+    FixedAexDelays,
+    IsolatedCoreAexDelays,
+    MachineWideInterrupts,
+    TraceAexDelays,
+    TriadLikeAexDelays,
+    TRIAD_LIKE_DELAYS_NS,
+    ISOLATED_CORE_MODE_NS,
+)
+from repro.hardware.cpu import (
+    CpuCore,
+    FrequencyGovernor,
+    make_core_set,
+    DEFAULT_PSTATE_TABLE_HZ,
+    PAPER_CORE_MAX_FREQUENCY_HZ,
+)
+from repro.hardware.machine import Machine
+from repro.hardware.monitor import (
+    IncMeasurement,
+    IncMonitor,
+    MonitorCalibration,
+    PAPER_CYCLES_PER_ITERATION,
+    PAPER_WINDOW_TICKS,
+)
+from repro.hardware.msr import MSR_IA32_TSC, MsrInterface
+from repro.hardware.tsc import PAPER_TSC_FREQUENCY_HZ, TimestampCounter, TscManipulation
+
+__all__ = [
+    "AexEvent",
+    "AexPort",
+    "AexSource",
+    "CpuCore",
+    "DEFAULT_PSTATE_TABLE_HZ",
+    "ExponentialAexDelays",
+    "FixedAexDelays",
+    "FrequencyGovernor",
+    "IncMeasurement",
+    "IncMonitor",
+    "IsolatedCoreAexDelays",
+    "ISOLATED_CORE_MODE_NS",
+    "Machine",
+    "MachineWideInterrupts",
+    "MonitorCalibration",
+    "MSR_IA32_TSC",
+    "MsrInterface",
+    "PAPER_CORE_MAX_FREQUENCY_HZ",
+    "PAPER_CYCLES_PER_ITERATION",
+    "PAPER_TSC_FREQUENCY_HZ",
+    "PAPER_WINDOW_TICKS",
+    "TimestampCounter",
+    "TraceAexDelays",
+    "TriadLikeAexDelays",
+    "TRIAD_LIKE_DELAYS_NS",
+    "TscManipulation",
+    "make_core_set",
+]

@@ -1,0 +1,121 @@
+"""CPU core and frequency-governor model.
+
+The paper's INC-monitoring result (§IV-A1) depends on the monitoring core
+running at a **fixed** frequency: Intel CPUs expose only discrete P-state
+frequencies, and the paper pins the monitoring core to the "performance"
+governor (maximum frequency, 3500 MHz on their machine). A core whose
+frequency changes mid-measurement would corrupt INC counts, which is why
+Triad couples the frequency-dependent INC monitor with the frequency
+discreteness argument: an attacker cannot select an arbitrary intermediate
+frequency to mask a TSC rescaling.
+
+This module models a core with a discrete frequency table and a governor;
+the INC monitor (:mod:`repro.hardware.monitor`) consumes ``frequency_hz``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+#: Maximum core frequency on the paper's machine (performance governor).
+PAPER_CORE_MAX_FREQUENCY_HZ: float = 3_500_000_000.0
+
+#: A representative discrete P-state table (Hz). Real tables are
+#: model-specific; what matters for the security argument is discreteness.
+DEFAULT_PSTATE_TABLE_HZ: tuple[float, ...] = (
+    1_200_000_000.0,
+    1_800_000_000.0,
+    2_400_000_000.0,
+    2_900_000_000.0,
+    3_500_000_000.0,
+)
+
+
+@dataclass
+class FrequencyGovernor:
+    """OS frequency governor for a core.
+
+    ``performance`` pins the maximum P-state; ``powersave`` the minimum;
+    ``manual`` lets (attacker-controlled) OS code pick any listed P-state —
+    but only listed ones, reflecting hardware discreteness.
+    """
+
+    pstates_hz: tuple[float, ...] = DEFAULT_PSTATE_TABLE_HZ
+    policy: str = "performance"
+    _manual_hz: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.pstates_hz:
+            raise ConfigurationError("P-state table must not be empty")
+        if any(f <= 0 for f in self.pstates_hz):
+            raise ConfigurationError("P-state frequencies must be positive")
+        self.pstates_hz = tuple(sorted(self.pstates_hz))
+        if self.policy not in ("performance", "powersave", "manual"):
+            raise ConfigurationError(f"unknown governor policy {self.policy!r}")
+
+    @property
+    def frequency_hz(self) -> float:
+        if self.policy == "performance":
+            return self.pstates_hz[-1]
+        if self.policy == "powersave":
+            return self.pstates_hz[0]
+        if self._manual_hz is None:
+            raise ConfigurationError("manual governor selected but no P-state set")
+        return self._manual_hz
+
+    def set_manual(self, frequency_hz: float) -> None:
+        """Pick a P-state explicitly; must be in the discrete table."""
+        if frequency_hz not in self.pstates_hz:
+            raise ConfigurationError(
+                f"{frequency_hz} Hz is not a valid P-state; table: {self.pstates_hz}"
+            )
+        self.policy = "manual"
+        self._manual_hz = frequency_hz
+
+
+@dataclass
+class CpuCore:
+    """One physical core.
+
+    Attributes
+    ----------
+    index:
+        Core number on its machine.
+    governor:
+        Frequency governor; :attr:`frequency_hz` delegates to it.
+    isolated:
+        Whether the OS isolates this core from routine interrupts (the
+        paper's Fig. 1b environment). Machine-wide interrupt sources may
+        still hit isolated cores — the paper observes exactly that.
+    """
+
+    index: int
+    governor: FrequencyGovernor = field(default_factory=FrequencyGovernor)
+    isolated: bool = False
+
+    @property
+    def frequency_hz(self) -> float:
+        """Current core clock frequency."""
+        return self.governor.frequency_hz
+
+    def cycles_in(self, duration_ns: int) -> int:
+        """Core cycles executed over ``duration_ns`` at the current frequency."""
+        return int(self.frequency_hz * duration_ns / 1_000_000_000)
+
+    def duration_of_cycles(self, cycles: int) -> int:
+        """Nanoseconds needed to execute ``cycles`` at the current frequency."""
+        return int(cycles * 1_000_000_000 / self.frequency_hz)
+
+
+def make_core_set(count: int, isolated_indices: Sequence[int] = ()) -> list[CpuCore]:
+    """Build ``count`` cores, marking ``isolated_indices`` as isolated."""
+    if count <= 0:
+        raise ConfigurationError(f"core count must be positive, got {count}")
+    isolated = set(isolated_indices)
+    unknown = isolated - set(range(count))
+    if unknown:
+        raise ConfigurationError(f"isolated core indices out of range: {sorted(unknown)}")
+    return [CpuCore(index=i, isolated=i in isolated) for i in range(count)]

@@ -1,0 +1,119 @@
+"""Machine model: cores, a shared TSC, AEX ports, and interrupt sources.
+
+A :class:`Machine` bundles the hardware a Triad node (or several — the
+paper runs three nodes plus the TA on one 32-core box) executes on. It owns:
+
+* one :class:`~repro.hardware.tsc.TimestampCounter` (package-wide on x86);
+* a set of :class:`~repro.hardware.cpu.CpuCore` objects;
+* one :class:`~repro.hardware.aex.AexPort` per core;
+* optional per-core :class:`~repro.hardware.aex.AexSource` streams and an
+  optional machine-wide correlated interrupt source.
+
+The machine is also the attachment point for attacker capabilities that are
+physically local: TSC offset/scaling (hypervisor) and AEX suppression or
+injection (OS scheduler). Network-level capabilities live with the
+network adversary in :mod:`repro.net.adversary`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hardware.aex import AexPort, AexSource, InterAexDistribution, MachineWideInterrupts
+from repro.hardware.cpu import CpuCore, make_core_set
+from repro.hardware.msr import MsrInterface
+from repro.hardware.tsc import PAPER_TSC_FREQUENCY_HZ, TimestampCounter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Machine:
+    """One physical host with a shared TSC and per-core AEX delivery."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        core_count: int = 32,
+        tsc_frequency_hz: float = PAPER_TSC_FREQUENCY_HZ,
+        isolated_cores: Sequence[int] = (),
+    ) -> None:
+        if core_count <= 0:
+            raise ConfigurationError(f"core count must be positive, got {core_count}")
+        self.sim = sim
+        self.name = name
+        self.tsc = TimestampCounter(sim, frequency_hz=tsc_frequency_hz)
+        self.cores: list[CpuCore] = make_core_set(core_count, isolated_cores)
+        self.aex_ports: list[AexPort] = [AexPort(sim, core.index) for core in self.cores]
+        self.msr: list[MsrInterface] = [
+            MsrInterface(sim, self.tsc, port) for port in self.aex_ports
+        ]
+        self.aex_sources: dict[int, AexSource] = {}
+        self.machine_wide_interrupts: Optional[MachineWideInterrupts] = None
+
+    # -- construction helpers ------------------------------------------------
+
+    def core(self, index: int) -> CpuCore:
+        """The core at ``index`` (with bounds checking)."""
+        if not 0 <= index < len(self.cores):
+            raise ConfigurationError(f"no core {index} on machine {self.name!r}")
+        return self.cores[index]
+
+    def port(self, core_index: int) -> AexPort:
+        """The AEX port of core ``core_index``."""
+        self.core(core_index)  # bounds check
+        return self.aex_ports[core_index]
+
+    def add_aex_source(
+        self,
+        core_index: int,
+        distribution: InterAexDistribution,
+        cause: str = "os",
+        enabled: bool = True,
+    ) -> AexSource:
+        """Attach an AEX stream to one core (e.g. the rdmsr-sim injector)."""
+        if core_index in self.aex_sources:
+            raise ConfigurationError(
+                f"core {core_index} on {self.name!r} already has an AEX source"
+            )
+        source = AexSource(
+            self.sim,
+            self.port(core_index),
+            distribution,
+            rng_name=f"{self.name}/aex/core{core_index}",
+            cause=cause,
+            enabled=enabled,
+        )
+        self.aex_sources[core_index] = source
+        return source
+
+    def add_machine_wide_interrupts(
+        self,
+        distribution: InterAexDistribution,
+        core_indices: Optional[Sequence[int]] = None,
+        correlation_probability: float = 1.0,
+    ) -> MachineWideInterrupts:
+        """Attach correlated OS interrupts hitting several cores at once.
+
+        ``core_indices`` defaults to all cores — the paper's observation is
+        that residual OS interrupts do not spare even isolated cores.
+        ``correlation_probability`` is the chance a firing hits all listed
+        cores simultaneously rather than a single random one.
+        """
+        if self.machine_wide_interrupts is not None:
+            raise ConfigurationError(f"machine {self.name!r} already has machine-wide interrupts")
+        indices = list(core_indices) if core_indices is not None else [c.index for c in self.cores]
+        ports = [self.port(i) for i in indices]
+        self.machine_wide_interrupts = MachineWideInterrupts(
+            self.sim,
+            ports,
+            distribution,
+            rng_name=f"{self.name}/machine-wide",
+            correlation_probability=correlation_probability,
+        )
+        return self.machine_wide_interrupts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Machine {self.name!r} cores={len(self.cores)} tsc={self.tsc.frequency_hz / 1e6:.3f}MHz>"

@@ -1,0 +1,48 @@
+"""Model-Specific Register (MSR) access model.
+
+The paper simulates the original Triad setup's interruption environment by
+issuing ``rdmsr`` reads of the TSC MSR (address ``0x10``) on the monitoring
+thread's core: every MSR access from ring 0 interrupts whatever enclave
+thread runs on that core, producing an AEX. This tiny module models exactly
+that mechanism so experiment code can inject AEXs the same way the authors
+did, rather than by reaching into the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.hardware.aex import AexPort
+from repro.hardware.tsc import TimestampCounter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+#: Address of the TimeStamp Counter MSR (IA32_TIME_STAMP_COUNTER).
+MSR_IA32_TSC: int = 0x10
+
+
+class MsrInterface:
+    """Ring-0 MSR access for one core; reads interrupt enclave threads."""
+
+    def __init__(self, sim: "Simulator", tsc: TimestampCounter, port: AexPort) -> None:
+        self.sim = sim
+        self.tsc = tsc
+        self.port = port
+        self.read_log: list[tuple[int, int]] = []  # (time_ns, msr_address)
+
+    def rdmsr(self, address: int) -> int:
+        """Read an MSR; triggers an AEX on the core's enclave threads.
+
+        Only the TSC MSR is modelled with a real value; other addresses
+        return zero but still cause the AEX (the interruption is a side
+        effect of the ring-0 transition, not of the specific register).
+        """
+        if address < 0:
+            raise ConfigurationError(f"invalid MSR address {address:#x}")
+        self.read_log.append((self.sim.now, address))
+        self.port.fire("rdmsr-sim")
+        if address == MSR_IA32_TSC:
+            return self.tsc.read()
+        return 0

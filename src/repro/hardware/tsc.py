@@ -1,0 +1,142 @@
+"""TimeStamp Counter (TSC) model.
+
+The TSC is the x86 per-package cycle counter that Triad's enclaves read with
+``rdtsc``. On SGX2 the read happens in-enclave so the OS cannot intercept
+it, but a malicious **hypervisor** can still virtualize the counter: offset
+it during a VM exit, or change its scaling factor for the guest. Both
+capabilities are part of the paper's attacker model (§III-A) and are exposed
+here as explicit methods.
+
+The model is piecewise linear in true (reference) time: the counter value is
+``anchor_value + scale * freq * (t - anchor_time)``. Honest hardware has
+``scale == 1`` and never jumps. :meth:`apply_offset` and :meth:`set_scale`
+re-anchor the segment, so manipulations compose naturally and take effect at
+the simulated instant they are issued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.sim.units import SECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+#: TSC frequency used throughout the paper's experiments, as measured by the
+#: OS at boot time on their SGX2 machine: 2899.999 MHz.
+PAPER_TSC_FREQUENCY_HZ: float = 2_899_999_000.0
+
+
+@dataclass
+class TscManipulation:
+    """Record of one hypervisor manipulation, kept for analysis/tests."""
+
+    at_time_ns: int
+    kind: str  # "offset" or "scale"
+    amount: float
+
+
+class TimestampCounter:
+    """A (possibly hypervisor-virtualized) TimeStamp Counter.
+
+    Parameters
+    ----------
+    sim:
+        The simulator supplying true reference time.
+    frequency_hz:
+        The counter's true increment rate. Defaults to the paper's machine.
+    start_value:
+        Counter value at simulation time zero (real TSCs start at boot, so
+        a large value is realistic; zero is fine for experiments).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        frequency_hz: float = PAPER_TSC_FREQUENCY_HZ,
+        start_value: int = 0,
+    ) -> None:
+        if frequency_hz <= 0:
+            raise ConfigurationError(f"TSC frequency must be positive, got {frequency_hz}")
+        self.sim = sim
+        self.frequency_hz = frequency_hz
+        self._anchor_time_ns = sim.now
+        self._anchor_value = float(start_value)
+        self._scale = 1.0
+        self.manipulations: list[TscManipulation] = []
+
+    # -- reading ---------------------------------------------------------------
+
+    @property
+    def scale(self) -> float:
+        """Current hypervisor scaling factor (1.0 when honest)."""
+        return self._scale
+
+    def read(self) -> int:
+        """Execute ``rdtsc``: return the current counter value.
+
+        In-enclave reads on SGX2 see exactly this value; the OS cannot
+        interpose. Only hypervisor-level manipulations (below) affect it.
+        """
+        return int(self._value_at(self.sim.now))
+
+    def ticks_between(self, earlier_ns: int, later_ns: int) -> int:
+        """Counter increment over a *current-segment* true-time interval.
+
+        Helper for analysis code; assumes no manipulation occurred inside
+        the interval (protocol code always uses :meth:`read` instead).
+        """
+        return int(self._value_at(later_ns) - self._value_at(earlier_ns))
+
+    def _value_at(self, time_ns: int) -> float:
+        elapsed_ns = time_ns - self._anchor_time_ns
+        return self._anchor_value + self._scale * self.frequency_hz * elapsed_ns / SECOND
+
+    # -- hypervisor manipulation -------------------------------------------------
+
+    def apply_offset(self, ticks: int) -> None:
+        """Hypervisor attack: jump the counter by ``ticks`` (may be negative).
+
+        Models TSC-offset manipulation during a VM exit. A negative offset
+        makes the guest's counter go back in time — the classic attack the
+        in-enclave INC monitor is designed to catch.
+        """
+        self._reanchor()
+        self._anchor_value += ticks
+        self.manipulations.append(TscManipulation(self.sim.now, "offset", float(ticks)))
+
+    def set_scale(self, scale: float) -> None:
+        """Hypervisor attack: change the counter's apparent rate.
+
+        ``scale > 1`` makes the guest's TSC run fast, ``scale < 1`` slow.
+        The counter value remains continuous at the switch instant.
+        """
+        if scale <= 0:
+            raise ConfigurationError(f"TSC scale must be positive, got {scale}")
+        self._reanchor()
+        self._scale = scale
+        self.manipulations.append(TscManipulation(self.sim.now, "scale", scale))
+
+    def _reanchor(self) -> None:
+        now = self.sim.now
+        self._anchor_value = self._value_at(now)
+        self._anchor_time_ns = now
+
+    # -- conversions ---------------------------------------------------------------
+
+    def ticks_for_duration(self, duration_ns: int) -> int:
+        """True ticks elapsing over ``duration_ns`` of reference time."""
+        return int(self._scale * self.frequency_hz * duration_ns / SECOND)
+
+    def duration_for_ticks(self, ticks: int) -> int:
+        """Reference nanoseconds over which ``ticks`` true ticks elapse."""
+        return int(ticks * SECOND / (self._scale * self.frequency_hz))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TimestampCounter {self.frequency_hz / 1e6:.3f}MHz scale={self._scale}"
+            f" value={self.read()}>"
+        )

@@ -1,0 +1,151 @@
+"""The simulated UDP network: sockets, links, and in-flight datagrams.
+
+:class:`Network` routes datagrams between attached :class:`Socket`\\ s.
+Each datagram experiences:
+
+1. a base one-way delay drawn from the link's :class:`~repro.net.delays`
+   model (honest network latency);
+2. interference from any registered adversaries
+   (:mod:`repro.net.adversary`): extra delay or a drop — the paper's
+   attacker can do both, and nothing else, because payloads are sealed;
+3. an optional uniform drop probability (honest UDP loss).
+
+Delivery is a scheduled simulator event; datagrams sent over the same link
+may be reordered if their sampled delays cross, faithfully modelling UDP.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.adversary import NetworkAdversary
+from repro.net.delays import DelayModel, paper_lan_delay
+from repro.net.message import Address, Datagram
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Socket:
+    """An endpoint bound to an address; supports send and event-based recv."""
+
+    def __init__(self, network: "Network", address: Address) -> None:
+        self.network = network
+        self.address = address
+        self._queue: deque[Datagram] = deque()
+        self._waiters: deque[Event] = deque()
+        self.received_count = 0
+        self.sent_count = 0
+
+    def send(self, destination: Address, payload: bytes) -> Datagram:
+        """Transmit a datagram; returns it (for logging/diagnostics)."""
+        self.sent_count += 1
+        return self.network.send(self.address, destination, payload)
+
+    def recv(self) -> Event:
+        """Event that fires with the next :class:`Datagram` for this socket."""
+        event = Event(self.network.sim)
+        if self._queue:
+            event.succeed(self._queue.popleft())
+        else:
+            self._waiters.append(event)
+        return event
+
+    def _deliver(self, datagram: Datagram) -> None:
+        self.received_count += 1
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed(datagram)
+                return
+        self._queue.append(datagram)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Socket {self.address} rx={self.received_count} tx={self.sent_count}>"
+
+
+class Network:
+    """Datagram network connecting all simulation participants."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        default_delay: Optional[DelayModel] = None,
+        drop_probability: float = 0.0,
+    ) -> None:
+        if not 0.0 <= drop_probability < 1.0:
+            raise ConfigurationError(f"drop probability must be in [0,1), got {drop_probability}")
+        self.sim = sim
+        self.default_delay = default_delay if default_delay is not None else paper_lan_delay()
+        self.drop_probability = drop_probability
+        self._sockets: dict[Address, Socket] = {}
+        self._link_delays: dict[tuple[str, str], DelayModel] = {}
+        self._adversaries: list[NetworkAdversary] = []
+        self._rng = sim.rng.stream("network")
+        #: All datagrams ever sent (kept for analysis; sizes stay modest in
+        #: the paper's experiments — a handful of messages per AEX).
+        self.log: list[Datagram] = []
+        self.dropped: list[Datagram] = []
+
+    # -- topology -----------------------------------------------------------
+
+    def attach(self, address: Address) -> Socket:
+        """Bind a new socket; addresses must be unique."""
+        if address in self._sockets:
+            raise ConfigurationError(f"address {address} already attached")
+        socket = Socket(self, address)
+        self._sockets[address] = socket
+        return socket
+
+    def set_link_delay(self, source_host: str, destination_host: str, model: DelayModel) -> None:
+        """Override the delay model for one directed host pair."""
+        self._link_delays[(source_host, destination_host)] = model
+
+    def add_adversary(self, adversary: NetworkAdversary) -> None:
+        """Register an on-path adversary, consulted for every datagram."""
+        self._adversaries.append(adversary)
+
+    # -- data plane ----------------------------------------------------------
+
+    def send(self, source: Address, destination: Address, payload: bytes) -> Datagram:
+        """Inject a datagram; delivery (if any) is scheduled asynchronously."""
+        datagram = Datagram(
+            source=source,
+            destination=destination,
+            payload=payload,
+            sent_at_ns=self.sim.now,
+        )
+        self.log.append(datagram)
+
+        delay_model = self._link_delays.get(
+            (source.host, destination.host), self.default_delay
+        )
+        delay_ns = delay_model.sample(self._rng)
+
+        if self.drop_probability and self._rng.random() < self.drop_probability:
+            self.dropped.append(datagram)
+            return datagram
+
+        for adversary in self._adversaries:
+            interference = adversary.observe(datagram)
+            if interference.drop:
+                self.dropped.append(datagram)
+                return datagram
+            delay_ns += interference.extra_delay_ns
+
+        delivery = self.sim.timeout(delay_ns, value=datagram)
+        delivery.callbacks.append(self._on_delivery)
+        return datagram
+
+    def _on_delivery(self, event: Event) -> None:
+        datagram: Datagram = event.value
+        socket = self._sockets.get(datagram.destination)
+        if socket is None:
+            # Destination not bound: UDP silently discards. Record it so
+            # experiments can notice misconfiguration.
+            self.dropped.append(datagram)
+            return
+        socket._deliver(datagram)

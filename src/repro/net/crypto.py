@@ -1,0 +1,143 @@
+"""Authenticated encryption for protocol messages.
+
+The paper's implementation encrypts all protocol traffic with AES-256-GCM.
+What the *protocol analysis* needs from the cipher is exactly two
+properties, both of which this module provides functionally (not just as a
+flag on a dataclass):
+
+* **Confidentiality** — an on-path adversary holding only the ciphertext
+  cannot recover the plaintext; in particular it cannot read the requested
+  TA waittime ``s`` and must infer it from timing (§III-C).
+* **Integrity** — any modification of the ciphertext is detected by the
+  receiver, which raises :class:`~repro.errors.CryptoError`. The adversary
+  is therefore limited to delaying, dropping, reordering, and replaying.
+
+We implement an AEAD from primitives in the standard library: SHA-256 in
+counter mode as the keystream and HMAC-SHA256 over (nonce ‖ associated
+data ‖ ciphertext) as the tag. This is a *model* of AES-256-GCM — it is
+deterministic, dependency-free, and honest about being simulation-grade
+rather than production-grade crypto; the security *architecture* (what is
+hidden from whom) matches the paper's implementation exactly.
+
+Nonces are drawn from a per-key counter, mirroring GCM's
+counter-based-nonce deployment mode and keeping simulations reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import pickle
+from typing import Any
+
+from repro.errors import CryptoError
+
+#: Byte length of symmetric keys (matches AES-256).
+KEY_BYTES = 32
+#: Byte length of nonces (matches GCM's conventional 96-bit nonce).
+NONCE_BYTES = 12
+#: Byte length of authentication tags (GCM uses 128-bit tags).
+TAG_BYTES = 16
+
+#: Plaintexts are padded to a multiple of this before encryption. The
+#: paper's C++ implementation exchanges fixed-size structs; without
+#: padding, Python's variable-length serialization would leak message
+#: contents (e.g. the magnitude of the requested sleep) through datagram
+#: sizes — a side channel the modelled attacker must not have.
+PAD_BLOCK_BYTES = 128
+
+
+def derive_key(*labels: str) -> bytes:
+    """Derive a deterministic 32-byte key from string labels.
+
+    Experiments pre-share keys between protocol participants (the paper
+    provisions keys at enclave attestation time, which is out of scope of
+    the time protocol itself). Deriving keys from participant names keeps
+    runs reproducible without modelling a key exchange.
+    """
+    if not labels:
+        raise CryptoError("key derivation requires at least one label")
+    material = "\x1f".join(labels).encode("utf-8")
+    return hashlib.sha256(b"repro-triad-key-v1:" + material).digest()
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """SHA-256-CTR keystream of ``length`` bytes."""
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        blocks.append(hashlib.sha256(key + nonce + counter.to_bytes(8, "little")).digest())
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def _xor(data: bytes, keystream: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, keystream))
+
+
+class SecureChannelKey:
+    """A shared symmetric key with a nonce counter (one direction of use).
+
+    Both ends of a channel may hold the same object in simulation; real
+    deployments would split directions, which does not affect the analysis.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != KEY_BYTES:
+            raise CryptoError(f"key must be {KEY_BYTES} bytes, got {len(key)}")
+        self._key = key
+        self._nonce_counter = 0
+
+    @classmethod
+    def between(cls, party_a: str, party_b: str) -> "SecureChannelKey":
+        """Key shared by two named parties (order-independent)."""
+        return cls(derive_key(*sorted((party_a, party_b))))
+
+    def _next_nonce(self) -> bytes:
+        nonce = self._nonce_counter.to_bytes(NONCE_BYTES, "little")
+        self._nonce_counter += 1
+        return nonce
+
+    # -- AEAD -----------------------------------------------------------------
+
+    def seal(self, message: Any, associated_data: bytes = b"") -> bytes:
+        """Encrypt-and-authenticate ``message`` (any picklable object).
+
+        Returns the wire blob ``nonce ‖ ciphertext ‖ tag``.
+        """
+        serialized = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        padded_length = -(-(len(serialized) + 4) // PAD_BLOCK_BYTES) * PAD_BLOCK_BYTES
+        plaintext = (
+            len(serialized).to_bytes(4, "little")
+            + serialized
+            + b"\x00" * (padded_length - len(serialized) - 4)
+        )
+        nonce = self._next_nonce()
+        ciphertext = _xor(plaintext, _keystream(self._key, nonce, len(plaintext)))
+        tag = hmac.new(self._key, nonce + associated_data + ciphertext, hashlib.sha256).digest()[
+            :TAG_BYTES
+        ]
+        return nonce + ciphertext + tag
+
+    def open(self, blob: bytes, associated_data: bytes = b"") -> Any:
+        """Verify-and-decrypt a wire blob; raises :class:`CryptoError` on tamper."""
+        if len(blob) < NONCE_BYTES + TAG_BYTES:
+            raise CryptoError("ciphertext too short")
+        nonce = blob[:NONCE_BYTES]
+        ciphertext = blob[NONCE_BYTES:-TAG_BYTES]
+        tag = blob[-TAG_BYTES:]
+        expected = hmac.new(self._key, nonce + associated_data + ciphertext, hashlib.sha256).digest()[
+            :TAG_BYTES
+        ]
+        if not hmac.compare_digest(tag, expected):
+            raise CryptoError("authentication tag mismatch (tampered or wrong key)")
+        plaintext = _xor(ciphertext, _keystream(self._key, nonce, len(ciphertext)))
+        if len(plaintext) < 4:
+            raise CryptoError("plaintext too short for length header")
+        length = int.from_bytes(plaintext[:4], "little")
+        if length > len(plaintext) - 4:
+            raise CryptoError("corrupt plaintext length header")
+        try:
+            return pickle.loads(plaintext[4 : 4 + length])
+        except Exception as exc:  # pragma: no cover - tag already guarantees integrity
+            raise CryptoError(f"failed to deserialize plaintext: {exc}") from exc

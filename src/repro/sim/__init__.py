@@ -1,0 +1,45 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate under every other subsystem in the Triad
+reproduction: hardware models, the network, the Time Authority, and the
+protocol nodes all run as processes on a :class:`Simulator`.
+
+Public surface:
+
+* :class:`Simulator` — the event loop and simulated clock (integer ns).
+* :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf` — events.
+* :class:`Process`, :class:`Interrupt` — generator processes and the
+  interrupt mechanism used to model Asynchronous Enclave Exits.
+* :mod:`repro.sim.units` — nanosecond time constants and conversions.
+"""
+
+from repro.sim import units
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    ConditionError,
+    Event,
+    EventAlreadyTriggered,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.kernel import EmptySchedule, Simulator
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "ConditionError",
+    "EmptySchedule",
+    "Event",
+    "EventAlreadyTriggered",
+    "Interrupt",
+    "Process",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "units",
+]

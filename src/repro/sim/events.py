@@ -1,0 +1,236 @@
+"""Event primitives for the discrete-event kernel.
+
+The kernel (:mod:`repro.sim.kernel`) schedules :class:`Event` objects on a
+priority queue keyed by simulated time. Processes (generator coroutines,
+see :mod:`repro.sim.process`) suspend by yielding events and resume when the
+yielded event fires.
+
+Event lifecycle::
+
+    pending --succeed(value)--> triggered(ok)   --processed--> done
+            --fail(exc)------->  triggered(err) --processed--> done
+
+An event may be triggered exactly once. Failing an event propagates the
+exception into every process waiting on it; unhandled failures surface when
+the kernel processes the event, so errors never pass silently.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.kernel import Simulator
+
+#: Signature of an event callback: receives the fired event.
+Callback = Callable[["Event"], None]
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class EventAlreadyTriggered(SimulationError):
+    """Raised when an event is succeeded or failed more than once."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupting party supplies an arbitrary ``cause`` that the
+    interrupted process can inspect — for example an
+    :class:`repro.hardware.aex.AexEvent` describing an Asynchronous Enclave
+    Exit.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start *pending*. Calling :meth:`succeed` or :meth:`fail` triggers
+    them; the kernel then invokes the registered callbacks (in registration
+    order) at the event's scheduled time.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    #: Sort key within a single timestamp; lower runs first. Timeouts use
+    #: :data:`PRIORITY_TIMEOUT`, process-resume events run after them so that
+    #: state set by timeouts is visible to resumed processes.
+    priority: int = 1
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callback] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._triggered = False
+        self._processed = False
+        #: When a failed event has at least one waiter, the failure is
+        #: considered handled ("defused"); otherwise the kernel re-raises it.
+        self._defused = False
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """Whether :meth:`succeed`/:meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the kernel has already run this event's callbacks."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded. Only meaningful once triggered."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception carried by the event."""
+        if not self._triggered:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        ``delay`` postpones callback execution by that many simulated
+        nanoseconds (default: fire at the current instant).
+        """
+        self._trigger(ok=True, value=value, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: int = 0) -> "Event":
+        """Trigger the event as failed, carrying ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exception!r}")
+        self._trigger(ok=False, value=exception, delay=delay)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so the kernel will not re-raise it."""
+        self._defused = True
+
+    def _trigger(self, ok: bool, value: Any, delay: int) -> None:
+        if self._triggered:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        self.sim._schedule(self, delay)
+
+    def _process(self) -> None:
+        """Run callbacks. Called by the kernel only."""
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # -- composition --------------------------------------------------------
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.sim, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay.
+
+    Created via :meth:`repro.sim.kernel.Simulator.timeout`; it is triggered
+    at construction time, so it cannot be succeeded or failed manually.
+    """
+
+    __slots__ = ("delay",)
+
+    priority = 0  # PRIORITY_TIMEOUT: timeouts run before process resumes
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be non-negative, got {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._trigger(ok=True, value=value, delay=delay)
+
+
+class ConditionError(SimulationError):
+    """Raised when a composite condition observes a failed sub-event."""
+
+
+class _Condition(Event):
+    """Base class for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    __slots__ = ("events", "_pending_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events: tuple[Event, ...] = tuple(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("cannot mix events from different simulators")
+        self._pending_count = 0
+        for event in self.events:
+            if event.processed:
+                self._observe(event)
+            else:
+                self._pending_count += 1
+                event.callbacks.append(self._observe)
+        if not self._triggered and self._satisfied():
+            self.succeed(self._collect())
+
+    def _observe(self, event: Event) -> None:
+        self._pending_count -= 1
+        if self._triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(ConditionError(f"sub-event failed: {event.value!r}"))
+            return
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        # Keyed on `processed`, not `triggered`: a Timeout is triggered at
+        # construction but only *fires* when the kernel processes it at its
+        # scheduled instant.
+        return {event: event.value for event in self.events if event.processed and event.ok}
+
+
+class AllOf(_Condition):
+    """Fires when every sub-event has fired successfully."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return all(event.processed and event.ok for event in self.events)
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any sub-event fires successfully."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return any(event.processed and event.ok for event in self.events)

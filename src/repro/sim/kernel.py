@@ -1,0 +1,156 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the simulated clock (integer nanoseconds) and an
+event queue ordered by ``(time, priority, sequence)``. Determinism is a core
+requirement — the paper's experiments must be exactly reproducible from a
+seed — so the queue breaks ties with a monotonically increasing sequence
+number and all randomness flows through :mod:`repro.sim.rng` streams.
+
+Typical usage::
+
+    sim = Simulator(seed=42)
+
+    def ticker(sim):
+        while True:
+            yield sim.timeout(units.SECOND)
+            print(sim.now)
+
+    sim.process(ticker(sim), name="ticker")
+    sim.run(until=10 * units.SECOND)
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Optional
+
+from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
+from repro.sim.process import Process, ProcessGenerator
+from repro.sim.rng import RngRegistry
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with integer-nanosecond time.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the per-purpose random streams available via
+        :attr:`rng`. Two simulators built with the same seed and driven by
+        the same process structure produce identical traces.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now: int = 0
+        self._queue: list[tuple[int, int, int, Event]] = []
+        self._sequence = itertools.count()
+        self._active_process: Optional[Process] = None
+        self.rng = RngRegistry(seed)
+        self.seed = seed
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds since simulation start."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event construction ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` nanoseconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start ``generator`` as a process; returns the process event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        """Event that fires once all ``events`` have fired successfully."""
+        return AllOf(self, events)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` fires successfully."""
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        """Enqueue a triggered event for processing after ``delay`` ns."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, event.priority, next(self._sequence), event))
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Process the single next event, advancing the clock to it."""
+        if not self._queue:
+            raise EmptySchedule("no more events scheduled")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - defensive; cannot happen
+            raise SimulationError("event queue corrupted: time went backwards")
+        self._now = when
+        event._process()
+        if event.triggered and not event.ok and not event._defused:
+            # An unawaited failure: surface it rather than losing it.
+            raise event.value
+
+    def run(self, until: Optional[int | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue drains;
+        * an ``int`` — run until that simulated time (exclusive of events
+          scheduled exactly at it, which remain queued);
+        * an :class:`Event` — run until that event has been processed, and
+          return its value (raising its exception if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            target = until
+            if not target.processed:
+                # We are a waiter: a failure of the target is handled here,
+                # not by the kernel's unawaited-failure check.
+                target.callbacks.append(lambda event: event.defuse())
+            while not target.processed:
+                if not self._queue:
+                    raise SimulationError("simulation ran out of events before `until` event fired")
+                self.step()
+            if not target.ok:
+                raise target.value
+            return target.value
+
+        if isinstance(until, int):
+            if until < self._now:
+                raise ValueError(f"cannot run until {until} < now ({self._now})")
+            while self._queue and self._queue[0][0] <= until:
+                self.step()
+            self._now = until
+            return None
+
+        raise TypeError(f"until must be None, int, or Event, got {type(until).__name__}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now} queued={len(self._queue)} seed={self.seed}>"

@@ -1,0 +1,144 @@
+"""Generator-based processes for the discrete-event kernel.
+
+A *process* is a Python generator that models a concurrent activity: a TEE
+node's protocol loop, a Time Authority server, an attacker, a monitoring
+thread. The generator advances by yielding :class:`~repro.sim.events.Event`
+objects; the kernel resumes it with the event's value once the event fires
+(or throws the event's exception into it if the event failed).
+
+Processes are themselves events: they fire when the generator returns, with
+the generator's return value as the event value. This allows waiting for a
+process to finish (``yield child_process``) and composing processes with
+``&``/``|``.
+
+Interrupts — the mechanism we use to model Asynchronous Enclave Exits —
+throw :class:`~repro.sim.events.Interrupt` into the generator at its current
+suspension point. The interrupted process decides how to react; the event it
+was waiting on remains pending and can be re-awaited.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event, Interrupt, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+#: Type alias for the generator driving a process.
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running process, created via :meth:`Simulator.process`."""
+
+    __slots__ = ("name", "_generator", "_target", "_interrupts")
+
+    priority = 2  # resume processes after plain events at the same instant
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process requires a generator, got {type(generator).__name__}")
+        super().__init__(sim)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        #: The event this process is currently waiting on (None once done).
+        self._target: Optional[Event] = None
+        #: Queued interrupt causes delivered at the next resume opportunity.
+        self._interrupts: list[Interrupt] = []
+        # Bootstrap: resume the generator for the first time "immediately".
+        initial = Event(sim)
+        initial.callbacks.append(self._resume)
+        initial.succeed()
+        self._target = initial
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    @property
+    def waiting_on(self) -> Optional[Event]:
+        """The event the process is currently suspended on, if any."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its suspension point.
+
+        Interrupting a finished process is an error: the caller's model of
+        the world is stale, and silently ignoring it would mask bugs.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        interrupt = Interrupt(cause)
+        self._interrupts.append(interrupt)
+        if self._target is not None and not self._target.processed:
+            # Detach from the awaited event and schedule an immediate resume
+            # that will deliver the interrupt. The original target event is
+            # left pending and may be awaited again by the handler.
+            target = self._target
+            if self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+            wakeup = Event(self.sim)
+            wakeup.callbacks.append(self._resume)
+            wakeup.succeed()
+            self._target = wakeup
+
+    # -- kernel plumbing -----------------------------------------------------
+
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator with ``trigger``'s outcome."""
+        self.sim._active_process = self
+        try:
+            while True:
+                try:
+                    if self._interrupts:
+                        interrupt = self._interrupts.pop(0)
+                        next_target = self._generator.throw(interrupt)
+                    elif trigger.ok:
+                        next_target = self._generator.send(trigger.value)
+                    else:
+                        trigger.defuse()
+                        next_target = self._generator.throw(trigger.value)
+                except StopIteration as stop:
+                    self._target = None
+                    self.succeed(stop.value)
+                    return
+                except Interrupt as interrupt:
+                    # Generator let an interrupt escape: treat as failure.
+                    self._target = None
+                    self.fail(SimulationError(f"process {self.name!r} died on unhandled {interrupt!r}"))
+                    return
+                except BaseException as exc:
+                    self._target = None
+                    self.fail(exc)
+                    return
+
+                if not isinstance(next_target, Event):
+                    error = TypeError(
+                        f"process {self.name!r} yielded {next_target!r}; processes must yield Event objects"
+                    )
+                    self._generator.throw(error)
+                    continue
+                if next_target.sim is not self.sim:
+                    error = SimulationError(f"process {self.name!r} yielded an event from another simulator")
+                    self._generator.throw(error)
+                    continue
+
+                if next_target.processed:
+                    # Already fired: loop and deliver its outcome synchronously.
+                    trigger = next_target
+                    self._target = next_target
+                    continue
+                next_target.callbacks.append(self._resume)
+                self._target = next_target
+                return
+        finally:
+            self.sim._active_process = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "alive" if self.is_alive else "done"
+        return f"<Process {self.name!r} {status}>"

@@ -1,0 +1,24 @@
+"""T3E baseline: TPM-sourced trusted time with use-limited timestamps.
+
+The paper's §II-A comparator protocol, implemented so benchmarks can put
+Triad and T3E side by side under the same attacker (EXT-T3E in DESIGN.md).
+"""
+
+from repro.t3e.node import T3eNode, T3eStats
+from repro.t3e.tpm import (
+    DEFAULT_COMMAND_LATENCY_NS,
+    TPM_MAX_DRIFT_RATE,
+    TpmBus,
+    TpmReading,
+    TrustedPlatformModule,
+)
+
+__all__ = [
+    "DEFAULT_COMMAND_LATENCY_NS",
+    "T3eNode",
+    "T3eStats",
+    "TPM_MAX_DRIFT_RATE",
+    "TpmBus",
+    "TpmReading",
+    "TrustedPlatformModule",
+]

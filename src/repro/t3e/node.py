@@ -1,0 +1,145 @@
+"""The T3E node: TPM-sourced timestamps with bounded reuse.
+
+T3E's core mechanism (paper §II-A): the TEE caches the latest TPM clock
+reading and serves it (with a monotonic bump) to the application at most
+``max_uses`` times; once uses are depleted, the TEE **stalls** until a
+fresh TPM reading arrives. Consequences, both modelled here:
+
+* an attacker delaying TPM responses can make served timestamps stale by
+  at most one delayed fetch — but every delayed fetch stalls the
+  application, so sustained delaying collapses throughput, which a
+  vigilant application owner may notice;
+* choosing ``max_uses`` is a genuine dilemma: too low and benign TPM
+  latency already throttles the application; too high and the attacker
+  gets a wide staleness window *and* a long time between the throughput
+  dips that would reveal the attack. The EXT-T3E benchmark quantifies this
+  trade-off — the paper's argument for why Triad takes the TA route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.events import Event
+from repro.t3e.tpm import TpmBus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class T3eStats:
+    """Service-level counters of one T3E node."""
+
+    timestamps_served: int = 0
+    tpm_fetches: int = 0
+    stalls: int = 0
+    total_stall_ns: int = 0
+    #: (serve_time_ns, served_timestamp_ns, reading_age_ns) per request.
+    samples: list[tuple[int, int, int]] = field(default_factory=list)
+
+    def max_staleness_ns(self) -> int:
+        """Largest age of the underlying TPM reading at serve time."""
+        if not self.samples:
+            raise ConfigurationError("no timestamps served yet")
+        return max(age for _, _, age in self.samples)
+
+    def monotonic(self) -> bool:
+        """Whether served timestamps strictly increase."""
+        served = [timestamp for _, timestamp, _ in self.samples]
+        return all(later > earlier for earlier, later in zip(served, served[1:]))
+
+
+class T3eNode:
+    """A TEE serving timestamps from a use-limited TPM reading cache."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        bus: TpmBus,
+        max_uses: int = 100,
+        min_increment_ns: int = 1,
+        name: str = "t3e-node",
+    ) -> None:
+        if max_uses <= 0:
+            raise ConfigurationError(f"max_uses must be positive, got {max_uses}")
+        if min_increment_ns <= 0:
+            raise ConfigurationError("min increment must be positive")
+        self.sim = sim
+        self.bus = bus
+        self.max_uses = max_uses
+        self.min_increment_ns = min_increment_ns
+        self.name = name
+        self.stats = T3eStats()
+        self._cached_clock_ns: Optional[int] = None
+        #: When the TPM sampled the cached value (staleness reference).
+        self._cached_sampled_at_ns: Optional[int] = None
+        self._uses_left = 0
+        self._last_served_ns: Optional[int] = None
+        #: Requests parked while a fetch is in flight.
+        self._stall_queue: list[Event] = []
+        self._fetching = False
+
+    # -- public API -----------------------------------------------------------
+
+    def request_timestamp(self) -> Event:
+        """Ask for a trusted timestamp.
+
+        Returns an event that fires with the timestamp — immediately if a
+        cached reading still has uses, otherwise after the (possibly
+        attacker-delayed) TPM fetch completes. The event-based shape models
+        T3E's execution stall: the caller cannot proceed until it fires.
+        """
+        event = Event(self.sim)
+        if self._uses_left > 0:
+            event.succeed(self._serve())
+            return event
+        self.stats.stalls += 1
+        self._stall_queue.append(event)
+        if not self._fetching:
+            self._fetching = True
+            self.sim.process(self._fetch(), name=f"{self.name}/tpm-fetch")
+        return event
+
+    @property
+    def uses_left(self) -> int:
+        """Uses remaining on the cached reading."""
+        return self._uses_left
+
+    # -- internals ---------------------------------------------------------------
+
+    def _serve(self) -> int:
+        assert self._cached_clock_ns is not None
+        assert self._cached_sampled_at_ns is not None
+        self._uses_left -= 1
+        value = self._cached_clock_ns
+        if self._last_served_ns is not None and value <= self._last_served_ns:
+            value = self._last_served_ns + self.min_increment_ns
+        self._last_served_ns = value
+        self.stats.timestamps_served += 1
+        self.stats.samples.append(
+            (self.sim.now, value, self.sim.now - self._cached_sampled_at_ns)
+        )
+        return value
+
+    def _fetch(self):
+        stall_started = self.sim.now
+        reading = yield from self.bus.read_clock()
+        self.stats.tpm_fetches += 1
+        self.stats.total_stall_ns += self.sim.now - stall_started
+        self._cached_clock_ns = reading.clock_ns
+        self._cached_sampled_at_ns = reading.sampled_at_ns
+        self._uses_left = self.max_uses
+        self._fetching = False
+        waiters, self._stall_queue = self._stall_queue, []
+        for waiter in waiters:
+            if self._uses_left > 0:
+                waiter.succeed(self._serve())
+            else:
+                # More waiters than uses: park the rest for the next fetch.
+                self._stall_queue.append(waiter)
+        if self._stall_queue and not self._fetching:
+            self._fetching = True
+            self.sim.process(self._fetch(), name=f"{self.name}/tpm-fetch")

@@ -1,0 +1,182 @@
+"""Trusted Platform Module (TPM) model — T3E's time source.
+
+T3E (Hamidy, Philippaerts, Joosen; NSS 2023) takes a different route to
+trusted time than Triad: instead of a remote Time Authority, it reads a
+**TPM clock colocated with the TEE**. The paper's related-work section
+(§II-A) identifies the two weaknesses this module models explicitly:
+
+* TPM commands travel over an **OS-mediated bus**: the attacker can delay
+  every response (the delay attack T3E's use-counting defends against);
+* the TPM itself is **configured by its owner**: TCG's specification
+  tolerates a clock drift of up to ±32.5 % relative to real time, so a
+  malicious owner can legally skew the time source itself — a capability
+  Triad's remote, attacker-independent TA removes.
+
+The TPM clock is monotone (per TPM 2.0 semantics) and survives across
+reads; command latency models the tens-of-milliseconds cost of real
+TPM2_ReadClock round-trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.events import Event
+from repro.sim.units import MILLISECOND, SECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+#: Maximum clock drift a TCG-compliant TPM may exhibit: ±32.5 %.
+TPM_MAX_DRIFT_RATE: float = 0.325
+
+#: Typical latency of one TPM clock-read command (bus + firmware).
+DEFAULT_COMMAND_LATENCY_NS: int = 20 * MILLISECOND
+
+
+@dataclass(frozen=True)
+class TpmReading:
+    """One completed TPM clock read.
+
+    ``sampled_at_ns`` is the instant the TPM actually executed the command
+    — a delayed response carries a value that is already stale by the
+    response-leg delay, which is what staleness analysis must count from.
+    """
+
+    clock_ns: int
+    issued_at_ns: int
+    sampled_at_ns: int
+    completed_at_ns: int
+
+    @property
+    def latency_ns(self) -> int:
+        return self.completed_at_ns - self.issued_at_ns
+
+    @property
+    def staleness_on_arrival_ns(self) -> int:
+        return self.completed_at_ns - self.sampled_at_ns
+
+
+class TrustedPlatformModule:
+    """A TPM's clock, with owner-configurable drift.
+
+    ``drift_rate`` is the relative speed error: ``0.1`` means the TPM clock
+    advances 10 % faster than real time. The TCG bound of ±0.325 is
+    enforced — the owner can push to the limit but not beyond it.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        drift_rate: float = 0.0,
+        start_value_ns: int = 0,
+    ) -> None:
+        if abs(drift_rate) > TPM_MAX_DRIFT_RATE:
+            raise ConfigurationError(
+                f"TPM drift rate {drift_rate:+.3f} exceeds the TCG bound of "
+                f"±{TPM_MAX_DRIFT_RATE}"
+            )
+        self.sim = sim
+        self._drift_rate = drift_rate
+        self._anchor_time_ns = sim.now
+        self._anchor_value_ns = float(start_value_ns)
+        self._last_reported_ns: Optional[int] = None
+        self.reconfigurations: list[tuple[int, float]] = []
+
+    @property
+    def drift_rate(self) -> float:
+        """Current owner-configured drift rate."""
+        return self._drift_rate
+
+    def configure_drift(self, drift_rate: float) -> None:
+        """Owner (possibly the attacker) re-tunes the clock rate.
+
+        The clock value stays continuous at the switch; only its speed
+        changes. Bounded by the TCG limit.
+        """
+        if abs(drift_rate) > TPM_MAX_DRIFT_RATE:
+            raise ConfigurationError(
+                f"TPM drift rate {drift_rate:+.3f} exceeds the TCG bound of "
+                f"±{TPM_MAX_DRIFT_RATE}"
+            )
+        self._anchor_value_ns = self._value_now()
+        self._anchor_time_ns = self.sim.now
+        self._drift_rate = drift_rate
+        self.reconfigurations.append((self.sim.now, drift_rate))
+
+    def _value_now(self) -> float:
+        elapsed = self.sim.now - self._anchor_time_ns
+        return self._anchor_value_ns + elapsed * (1.0 + self._drift_rate)
+
+    def clock_ns(self) -> int:
+        """The TPM's current clock value (monotone, per TPM 2.0)."""
+        value = int(self._value_now())
+        if self._last_reported_ns is not None and value <= self._last_reported_ns:
+            value = self._last_reported_ns + 1
+        self._last_reported_ns = value
+        return value
+
+
+class TpmBus:
+    """The OS-mediated command path between a TEE and its TPM.
+
+    Every read costs the command latency; the attacker-owned OS can add an
+    arbitrary extra delay per command (:meth:`set_attack_delay`) or vary it
+    over time via a callback. The TEE cannot distinguish a slow TPM from a
+    delayed response — which is exactly why T3E bounds timestamp *uses*
+    rather than trying to bound latency.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        tpm: TrustedPlatformModule,
+        command_latency_ns: int = DEFAULT_COMMAND_LATENCY_NS,
+    ) -> None:
+        if command_latency_ns < 0:
+            raise ConfigurationError("command latency must be non-negative")
+        self.sim = sim
+        self.tpm = tpm
+        self.command_latency_ns = command_latency_ns
+        self._attack_delay_ns = 0
+        self.reads: list[TpmReading] = []
+
+    @property
+    def attack_delay_ns(self) -> int:
+        """Extra delay the OS currently injects per command."""
+        return self._attack_delay_ns
+
+    def set_attack_delay(self, delay_ns: int) -> None:
+        """Attacker knob: delay every subsequent TPM response."""
+        if delay_ns < 0:
+            raise ConfigurationError("attack delay must be non-negative")
+        self._attack_delay_ns = delay_ns
+
+    def read_clock(self) -> Generator[Event, None, TpmReading]:
+        """Issue one clock read; usable as ``yield from bus.read_clock()``.
+
+        The returned clock value is sampled when the TPM *executes* the
+        command (after the outbound latency), then the response travels
+        back — so attacker delay on the response leg makes the reading
+        stale by exactly that delay, the situation T3E's use counter is
+        designed to bound.
+        """
+        issued = self.sim.now
+        outbound = self.command_latency_ns // 2
+        inbound = self.command_latency_ns - outbound + self._attack_delay_ns
+        if outbound:
+            yield self.sim.timeout(outbound)
+        sampled_at = self.sim.now
+        clock_value = self.tpm.clock_ns()
+        if inbound:
+            yield self.sim.timeout(inbound)
+        reading = TpmReading(
+            clock_ns=clock_value,
+            issued_at_ns=issued,
+            sampled_at_ns=sampled_at,
+            completed_at_ns=self.sim.now,
+        )
+        self.reads.append(reading)
+        return reading

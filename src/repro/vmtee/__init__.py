@@ -1,0 +1,18 @@
+"""VM-level TEE trusted-time models: Intel TDX and AMD SEV-SNP SecureTSC.
+
+The §II-B reference points Triad aims to approach from CPU-level TEEs.
+Used by the EXT-VMTEE benchmark to contrast attack outcomes: silently
+wrong time (raw SGX TSC) vs detected-then-recalibrated (Triad's monitor)
+vs detected-at-entry (TDX) vs no effect at all (SecureTSC).
+"""
+
+from repro.vmtee.sev import HostTscView, SecureTscClock
+from repro.vmtee.tdx import ManipulationAttempt, TdxTscViolation, TdxVirtualTsc
+
+__all__ = [
+    "HostTscView",
+    "ManipulationAttempt",
+    "SecureTscClock",
+    "TdxTscViolation",
+    "TdxVirtualTsc",
+]

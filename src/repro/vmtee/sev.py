@@ -1,0 +1,81 @@
+"""AMD SEV-SNP SecureTSC model.
+
+The paper's §II-B: with SecureTSC, "the hypervisor and VM guests [may]
+modify the TSC without affecting other guests, whose TSC remains linearly
+increasing". Each guest's counter is derived from a guest-private
+frequency and offset provisioned at launch; hypervisor writes affect only
+the hypervisor's own view.
+
+The model keeps both views explicitly so tests can show an attack landing
+on the host view while the guest's clock stays linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.hardware.tsc import PAPER_TSC_FREQUENCY_HZ
+from repro.sim.units import SECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class HostTscView:
+    """The hypervisor's own (manipulable) TSC view."""
+
+    offset_ticks: int = 0
+    scale: float = 1.0
+
+
+class SecureTscClock:
+    """A SEV-SNP guest's protected TSC."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        guest_frequency_hz: float = PAPER_TSC_FREQUENCY_HZ,
+    ) -> None:
+        if guest_frequency_hz <= 0:
+            raise ConfigurationError(f"frequency must be positive, got {guest_frequency_hz}")
+        self.sim = sim
+        self.guest_frequency_hz = guest_frequency_hz
+        self._launched_at_ns = sim.now
+        self.host_view = HostTscView()
+        self.host_manipulations: list[tuple[int, str, float]] = []
+        self._last_guest_read: int | None = None
+
+    # -- guest side ----------------------------------------------------------
+
+    def guest_read(self) -> int:
+        """Guest ``rdtsc``: linear in real time, immune to host writes."""
+        elapsed = self.sim.now - self._launched_at_ns
+        value = int(self.guest_frequency_hz * elapsed / SECOND)
+        if self._last_guest_read is not None and value < self._last_guest_read:
+            # Cannot happen with a linear clock; assert the invariant.
+            raise AssertionError("SecureTSC guest clock regressed")
+        self._last_guest_read = value
+        return value
+
+    # -- hypervisor side ----------------------------------------------------------
+
+    def host_write_offset(self, ticks: int) -> None:
+        """Hypervisor moves *its own* TSC view; the guest is unaffected."""
+        self.host_view.offset_ticks += ticks
+        self.host_manipulations.append((self.sim.now, "offset", float(ticks)))
+
+    def host_write_scale(self, scale: float) -> None:
+        """Hypervisor rescales its own view; the guest is unaffected."""
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        self.host_view.scale = scale
+        self.host_manipulations.append((self.sim.now, "scale", scale))
+
+    def host_read(self) -> int:
+        """The hypervisor's view, with its own manipulations applied."""
+        elapsed = self.sim.now - self._launched_at_ns
+        base = self.guest_frequency_hz * elapsed / SECOND
+        return int(base * self.host_view.scale + self.host_view.offset_ticks)

@@ -1,0 +1,96 @@
+"""Intel TDX virtualized-TSC model.
+
+The paper's §II-B describes the VM-level "gold standard" Triad tries to
+approach from CPU-level TEEs: with Intel TDX, the TimeStamp Counter a
+Trust Domain (guest VM) sees is virtualized by the TDX module such that
+
+* writing the TSC **from inside** the TD is architecturally forbidden;
+* a hypervisor offsetting the TSC during a VM exit is **detected and
+  results in an error upon VM entry** — the guest learns of the attempt
+  instead of silently consuming a manipulated value.
+
+This module models that contract: :class:`TdxVirtualTsc` derives guest
+time from an invariant frequency fixed at TD creation; hypervisor
+manipulation *attempts* are recorded and surface as
+:class:`TdxTscViolation` on the next guest read (the "VM entry"), never as
+a wrong value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError, ReproError
+from repro.hardware.tsc import PAPER_TSC_FREQUENCY_HZ
+from repro.sim.units import SECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class TdxTscViolation(ReproError):
+    """Raised on TD entry after a hypervisor TSC manipulation attempt."""
+
+
+@dataclass(frozen=True)
+class ManipulationAttempt:
+    """A recorded hypervisor attempt against the virtual TSC."""
+
+    time_ns: int
+    kind: str  # "offset" or "scale"
+    amount: float
+
+
+class TdxVirtualTsc:
+    """The TSC as seen from inside a TDX Trust Domain."""
+
+    def __init__(self, sim: "Simulator", frequency_hz: float = PAPER_TSC_FREQUENCY_HZ) -> None:
+        if frequency_hz <= 0:
+            raise ConfigurationError(f"frequency must be positive, got {frequency_hz}")
+        self.sim = sim
+        self.frequency_hz = frequency_hz
+        self._created_at_ns = sim.now
+        self._pending_attempts: list[ManipulationAttempt] = []
+        self.detected_attempts: list[ManipulationAttempt] = []
+
+    # -- guest side --------------------------------------------------------------
+
+    def read(self) -> int:
+        """Guest ``rdtsc``: returns the invariant virtual counter.
+
+        If the hypervisor attempted a manipulation since the last read,
+        the TD entry fails with :class:`TdxTscViolation` — the guest never
+        observes a manipulated value, matching the TDX base specification.
+        """
+        if self._pending_attempts:
+            self.detected_attempts.extend(self._pending_attempts)
+            attempts, self._pending_attempts = self._pending_attempts, []
+            raise TdxTscViolation(
+                f"TSC manipulation detected on TD entry: "
+                f"{[(a.kind, a.amount) for a in attempts]}"
+            )
+        elapsed = self.sim.now - self._created_at_ns
+        return int(self.frequency_hz * elapsed / SECOND)
+
+    def write(self, _value: int) -> None:
+        """Guest attempt to write the TSC: architecturally forbidden."""
+        raise TdxTscViolation("writing IA32_TIME_STAMP_COUNTER is forbidden inside a TD")
+
+    # -- hypervisor side ------------------------------------------------------------
+
+    def hypervisor_offset(self, ticks: int) -> None:
+        """Hypervisor tries to offset the TSC during a VM exit.
+
+        The attempt is recorded; it surfaces as an error on the next TD
+        entry and never changes the guest-visible counter.
+        """
+        self._pending_attempts.append(
+            ManipulationAttempt(self.sim.now, "offset", float(ticks))
+        )
+
+    def hypervisor_scale(self, scale: float) -> None:
+        """Hypervisor tries to rescale the TSC: recorded, then detected."""
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        self._pending_attempts.append(ManipulationAttempt(self.sim.now, "scale", scale))

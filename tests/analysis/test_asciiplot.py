@@ -1,0 +1,78 @@
+"""Tests for the ASCII line-plot renderer."""
+
+import pytest
+
+from repro.analysis.asciiplot import line_plot
+from repro.errors import ConfigurationError
+
+
+class TestLinePlot:
+    def test_basic_structure(self):
+        text = line_plot({"a": [(0, 0), (10, 5)]}, width=40, height=10)
+        lines = text.splitlines()
+        body = [line for line in lines if "|" in line]
+        assert len(body) == 10
+        assert all(len(line.split("|")[1]) == 40 for line in body)
+
+    def test_series_glyphs_present(self):
+        text = line_plot(
+            {"first": [(0, 1), (1, 1)], "second": [(0, 2), (1, 2)]},
+            width=30,
+            height=8,
+        )
+        assert "1" in text
+        assert "2" in text
+        assert "1=first" in text
+        assert "2=second" in text
+
+    def test_zero_line_drawn_when_range_crosses_zero(self):
+        text = line_plot({"a": [(0, -5), (10, 5)]}, width=30, height=9)
+        assert "-" * 10 in text
+
+    def test_no_zero_line_for_positive_range(self):
+        text = line_plot({"a": [(0, 5), (10, 6)]}, width=30, height=9)
+        body_rows = [line.split("|")[1] for line in text.splitlines() if "|" in line]
+        assert not any(row.count("-") > 20 for row in body_rows)
+
+    def test_axis_labels(self):
+        text = line_plot(
+            {"a": [(2.0, 1.0), (7.0, 3.0)]},
+            width=40,
+            height=8,
+            x_label="time (s)",
+            y_label="drift (ms)",
+        )
+        assert "time (s)" in text
+        assert "drift (ms)" in text
+        assert "2.0" in text
+        assert "7.0" in text
+
+    def test_title_included(self):
+        text = line_plot({"a": [(0, 0), (1, 1)]}, title="My Plot")
+        assert text.splitlines()[0] == "My Plot"
+
+    def test_flat_series_handled(self):
+        """Constant y must not divide by zero."""
+        text = line_plot({"a": [(0, 3.0), (5, 3.0)]}, width=20, height=6)
+        assert "a" in text
+
+    def test_single_point(self):
+        text = line_plot({"a": [(5, 5)]}, width=20, height=6)
+        assert "1" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            line_plot({}, width=40, height=10)
+        with pytest.raises(ConfigurationError):
+            line_plot({"a": []}, width=40, height=10)
+        with pytest.raises(ConfigurationError):
+            line_plot({"a": [(0, 0)]}, width=5, height=10)
+        with pytest.raises(ConfigurationError):
+            line_plot({"a": [(0, 0)]}, width=40, height=2)
+
+    def test_points_land_within_canvas(self):
+        points = [(float(i), float(i * i)) for i in range(50)]
+        text = line_plot({"a": points}, width=60, height=15)
+        glyph_count = sum(row.split("|")[1].count("1")
+                          for row in text.splitlines() if "|" in row)
+        assert glyph_count > 10

@@ -1,0 +1,114 @@
+"""Tests for protocol event journals."""
+
+import pytest
+
+from repro.analysis.journal import EventJournal, ProtocolEvent, node_events
+from repro.errors import ConfigurationError
+from repro.sim import units
+
+from tests.core.conftest import build_cluster
+
+
+@pytest.fixture
+def busy_cluster():
+    """A cluster with some protocol history to journal."""
+    sim, cluster = build_cluster(seed=700)
+    sim.run(until=5 * units.SECOND)
+    cluster.monitoring_port(1).fire("solo")  # peer untaint for node-1
+    sim.run(until=7 * units.SECOND)
+    for index in (1, 2, 3):  # simultaneous: TA untaints
+        cluster.monitoring_port(index).fire("correlated")
+    sim.run(until=10 * units.SECOND)
+    return sim, cluster
+
+
+class TestNodeEvents:
+    def test_event_stream_chronological(self, busy_cluster):
+        sim, cluster = busy_cluster
+        events = node_events(cluster.node(1))
+        times = [event.time_ns for event in events]
+        assert times == sorted(times)
+        assert events, "expected some protocol events"
+
+    def test_event_kinds_present(self, busy_cluster):
+        sim, cluster = busy_cluster
+        kinds = {event.kind for event in node_events(cluster.node(1))}
+        assert "aex" in kinds
+        assert "full-calibration" in kinds
+        assert "untaint-peer" in kinds
+        assert "untaint-authority" in kinds
+
+    def test_state_changes_optional(self, busy_cluster):
+        sim, cluster = busy_cluster
+        without = node_events(cluster.node(1))
+        with_states = node_events(cluster.node(1), include_states=True)
+        assert len(with_states) > len(without)
+        assert any(event.kind == "state-change" for event in with_states)
+
+    def test_details_carry_useful_facts(self, busy_cluster):
+        sim, cluster = busy_cluster
+        events = node_events(cluster.node(1))
+        calibs = [event for event in events if event.kind == "full-calibration"]
+        assert "F_calib=" in calibs[0].detail
+        untaints = [event for event in events if event.kind.startswith("untaint")]
+        assert all("source=" in event.detail for event in untaints)
+
+
+class TestJournal:
+    def test_cluster_journal_merges_all_nodes(self, busy_cluster):
+        sim, cluster = busy_cluster
+        journal = EventJournal.of(cluster.nodes)
+        nodes_present = {event.node for event in journal}
+        assert nodes_present == {"node-1", "node-2", "node-3"}
+        times = [event.time_ns for event in journal]
+        assert times == sorted(times)
+
+    def test_filtering(self, busy_cluster):
+        sim, cluster = busy_cluster
+        journal = EventJournal.of(cluster.nodes)
+        only_node1 = journal.filter(node="node-1")
+        assert all(event.node == "node-1" for event in only_node1)
+        only_aex = journal.filter(kind="aex")
+        assert len(only_aex) == journal.count("aex")
+        windowed = journal.filter(start_ns=5 * units.SECOND, end_ns=7 * units.SECOND)
+        assert all(
+            5 * units.SECOND <= event.time_ns < 7 * units.SECOND for event in windowed
+        )
+
+    def test_count_matches_stats(self, busy_cluster):
+        sim, cluster = busy_cluster
+        journal = EventJournal.of(cluster.nodes)
+        total_aex = sum(node.stats.aex_count for node in cluster.nodes)
+        assert journal.count("aex") == total_aex
+
+    def test_render_and_truncation(self, busy_cluster):
+        sim, cluster = busy_cluster
+        journal = EventJournal.of(cluster.nodes, include_states=True)
+        text = journal.render(limit=5)
+        assert len(text.splitlines()) == 6  # 5 events + truncation line
+        assert "more events" in text
+        full = journal.render(limit=None)
+        assert len(full.splitlines()) == len(journal)
+
+    def test_to_csv(self, busy_cluster):
+        sim, cluster = busy_cluster
+        csv = EventJournal.of(cluster.nodes).to_csv()
+        assert csv.splitlines()[0] == "time_s,node,kind,detail"
+        assert len(csv.splitlines()) == len(EventJournal.of(cluster.nodes)) + 1
+
+    def test_empty_node_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventJournal.of([])
+
+    def test_monitor_alert_events(self):
+        sim, cluster = build_cluster(seed=701)
+        sim.run(until=5 * units.SECOND)
+        cluster.machine.tsc.set_scale(1.05)
+        sim.run(until=20 * units.SECOND)
+        journal = EventJournal.of(cluster.nodes)
+        assert journal.count("monitor-alert") >= 1
+        # Alert precedes the second full calibration in the stream.
+        node1 = journal.filter(node="node-1")
+        kinds = [event.kind for event in node1]
+        alert_index = kinds.index("monitor-alert")
+        assert "full-calibration" in kinds[alert_index:]

@@ -1,0 +1,119 @@
+"""Tests for drift recording and derived experiment metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    DriftRecorder,
+    availability_report,
+    cumulative_counts,
+    forward_jumps,
+    time_grid,
+    unavailable_spans,
+)
+from repro.errors import ConfigurationError
+from repro.sim import units
+
+from tests.core.conftest import build_cluster
+
+
+class TestDriftRecorder:
+    def test_samples_on_grid(self):
+        sim, cluster = build_cluster(seed=100)
+        recorder = DriftRecorder(sim, cluster.nodes, interval_ns=units.SECOND)
+        sim.run(until=10 * units.SECOND)
+        series = recorder["node-1"]
+        assert len(series.samples) >= 8  # calibration eats the first moments
+        times = [t for t, _ in series.samples]
+        assert all(t % units.SECOND == 0 for t in times)
+
+    def test_uncalibrated_nodes_skipped(self):
+        sim, cluster = build_cluster(seed=101)
+        recorder = DriftRecorder(
+            sim, cluster.nodes, interval_ns=10 * units.MILLISECOND
+        )
+        sim.run(until=50 * units.MILLISECOND)  # still inside FullCalib
+        assert recorder["node-1"].samples == []
+
+    def test_series_unit_helpers(self):
+        sim, cluster = build_cluster(seed=102)
+        recorder = DriftRecorder(sim, cluster.nodes, interval_ns=units.SECOND)
+        sim.run(until=5 * units.SECOND)
+        series = recorder["node-1"]
+        assert len(series.times_s()) == len(series.drifts_ms())
+        assert series.max_abs_drift_ns() >= 0
+
+    def test_window_filter(self):
+        sim, cluster = build_cluster(seed=103)
+        recorder = DriftRecorder(sim, cluster.nodes, interval_ns=units.SECOND)
+        sim.run(until=10 * units.SECOND)
+        windowed = recorder["node-1"].window(4 * units.SECOND, 8 * units.SECOND)
+        assert all(4 * units.SECOND <= t < 8 * units.SECOND for t, _ in windowed)
+
+    def test_invalid_interval_rejected(self):
+        sim, cluster = build_cluster(seed=104)
+        with pytest.raises(ConfigurationError):
+            DriftRecorder(sim, cluster.nodes, interval_ns=0)
+
+    def test_empty_series_errors(self):
+        sim, cluster = build_cluster(seed=105)
+        recorder = DriftRecorder(sim, cluster.nodes)
+        with pytest.raises(ConfigurationError):
+            recorder["node-1"].final_drift_ns()
+
+
+class TestAvailability:
+    def test_report_covers_all_nodes(self):
+        sim, cluster = build_cluster(seed=106)
+        sim.run(until=30 * units.SECOND)
+        report = availability_report(cluster.nodes, sim.now)
+        assert set(report) == {"node-1", "node-2", "node-3"}
+        for value in report.values():
+            assert 0.8 < value < 1.0  # initial calibration costs some
+
+    def test_unavailable_spans_match_timeline(self):
+        sim, cluster = build_cluster(seed=107)
+        sim.run(until=10 * units.SECOND)
+        node = cluster.node(1)
+        spans = unavailable_spans(node, sim.now)
+        assert spans, "initial FullCalib must appear as an unavailable span"
+        assert spans[0][0] == 0
+
+
+class TestSeriesHelpers:
+    def test_cumulative_counts(self):
+        events = [5, 10, 10, 20]
+        grid = [1, 5, 10, 15, 25]
+        assert cumulative_counts(events, grid) == [0, 1, 3, 3, 4]
+
+    def test_cumulative_counts_unsorted_input(self):
+        assert cumulative_counts([20, 5], [10, 30]) == [1, 2]
+
+    def test_time_grid(self):
+        assert time_grid(10, 3) == [3, 6, 9]
+        with pytest.raises(ConfigurationError):
+            time_grid(0, 1)
+
+
+class TestForwardJumps:
+    def test_peer_jump_extracted(self):
+        sim, cluster = build_cluster(seed=108)
+        sim.run(until=5 * units.SECOND)
+        node = cluster.node(1)
+        # Make node-2 run visibly ahead, then taint node-1 so it adopts.
+        node2 = cluster.node(2)
+        node2.clock.set_reference(node2.clock.now_unchecked() + 80 * units.MILLISECOND)
+        cluster.monitoring_port(1).fire("aex")
+        sim.run(until=6 * units.SECOND)
+        jumps = forward_jumps(node, min_jump_ns=units.MILLISECOND)
+        assert len(jumps) == 1
+        assert jumps[0].jump_ns == pytest.approx(80 * units.MILLISECOND, rel=0.01)
+        assert jumps[0].source == "peer:node-2"
+
+    def test_min_jump_filter(self):
+        sim, cluster = build_cluster(seed=109)
+        sim.run(until=5 * units.SECOND)
+        node = cluster.node(1)
+        cluster.monitoring_port(1).fire("aex")
+        sim.run(until=6 * units.SECOND)
+        # Honest peers are microseconds apart: a 1 ms filter removes all.
+        assert forward_jumps(node, min_jump_ns=units.MILLISECOND) == []

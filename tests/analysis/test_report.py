@@ -1,0 +1,52 @@
+"""Tests for table/CSV rendering."""
+
+import pytest
+
+from repro.analysis.report import format_comparison, format_table, to_csv
+from repro.errors import ConfigurationError
+
+
+class TestFormatTable:
+    def test_alignment_and_structure(self):
+        text = format_table(
+            ["node", "drift"],
+            [["node-1", "1.5"], ["node-22", "-91.0"]],
+            title="Drift",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Drift"
+        assert lines[1].startswith("node")
+        assert set(lines[2]) <= {"-", " "}
+        assert "node-22" in lines[4]
+        # Columns align: 'drift' header starts at the same offset everywhere.
+        offset = lines[1].index("drift")
+        assert lines[3][offset:].strip().startswith("1.5")
+
+    def test_cell_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+    def test_no_title(self):
+        text = format_table(["x"], [[1]])
+        assert text.splitlines()[0] == "x"
+
+
+class TestCsv:
+    def test_simple_rows(self):
+        csv = to_csv(["a", "b"], [[1, 2], [3, 4]])
+        assert csv == "a,b\n1,2\n3,4\n"
+
+    def test_quoting(self):
+        csv = to_csv(["name"], [['has,comma'], ['has"quote']])
+        assert '"has,comma"' in csv
+        assert '"has""quote"' in csv
+
+
+class TestComparison:
+    def test_format(self):
+        line = format_comparison("F3_calib", "2609.951 MHz", "2609.860 MHz", "match")
+        assert line == "F3_calib: paper=2609.951 MHz measured=2609.860 MHz [match]"

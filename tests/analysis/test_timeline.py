@@ -1,0 +1,62 @@
+"""Tests for the text timing-diagram renderer."""
+
+import pytest
+
+from repro.analysis.timeline import render_cluster_timelines, render_timeline
+from repro.core.states import NodeState, StateTimeline
+from repro.errors import ConfigurationError
+from repro.sim.units import SECOND
+
+
+def sample_timeline():
+    timeline = StateTimeline(0, NodeState.FULL_CALIB)
+    timeline.record(10 * SECOND, NodeState.OK)
+    timeline.record(50 * SECOND, NodeState.TAINTED)
+    timeline.record(51 * SECOND, NodeState.OK)
+    return timeline
+
+
+class TestRenderTimeline:
+    def test_all_state_rows_present(self):
+        text = render_timeline(sample_timeline(), until_ns=100 * SECOND, width=50)
+        for label in ("FullCalib", "RefCalib", "Tainted", "OK"):
+            assert label in text
+
+    def test_marks_reflect_segments(self):
+        text = render_timeline(sample_timeline(), until_ns=100 * SECOND, width=100)
+        rows = {line.split("|")[0].strip(): line.split("|")[1] for line in
+                text.splitlines() if "|" in line}
+        # FullCalib occupies roughly the first 10% of columns.
+        assert rows["FullCalib"][:10].count("#") == 10
+        assert "#" not in rows["FullCalib"][12:]
+        # OK covers most of the rest.
+        assert rows["OK"][15:49].count("#") == 34
+
+    def test_sub_column_blips_still_visible(self):
+        """A 1-second Tainted stay must appear even at coarse width."""
+        text = render_timeline(sample_timeline(), until_ns=100 * SECOND, width=20)
+        rows = {line.split("|")[0].strip(): line.split("|")[1] for line in
+                text.splitlines() if "|" in line}
+        assert "#" in rows["Tainted"]
+
+    def test_label_included(self):
+        text = render_timeline(sample_timeline(), 100 * SECOND, label="[node-1]")
+        assert text.splitlines()[0] == "[node-1]"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            render_timeline(sample_timeline(), until_ns=0)
+        with pytest.raises(ConfigurationError):
+            render_timeline(sample_timeline(), until_ns=100, width=0)
+
+
+class TestClusterRendering:
+    def test_one_block_per_node(self):
+        from tests.core.conftest import build_cluster
+        from repro.sim import units
+
+        sim, cluster = build_cluster(seed=110)
+        sim.run(until=10 * units.SECOND)
+        text = render_cluster_timelines(cluster.nodes, sim.now, width=40)
+        assert text.count("[node-") == 3
+        assert text.count("OK |") == 3

@@ -1,0 +1,129 @@
+"""Tests for trusted leases: exclusivity, expiry, attack-induced violations."""
+
+import pytest
+
+from repro.apps.leases import LeaseAuditor, LeaseHolder, LeaseManager
+from repro.errors import ConfigurationError
+from repro.sim import units
+
+from tests.core.conftest import build_cluster
+
+
+@pytest.fixture
+def world():
+    sim, cluster = build_cluster(seed=320)
+    sim.run(until=5 * units.SECOND)
+    manager = LeaseManager(cluster.node(1))
+    holder = LeaseHolder(cluster.node(2))
+    return sim, cluster, manager, holder
+
+
+class TestGranting:
+    def test_grant_and_exclusivity(self, world):
+        sim, cluster, manager, holder = world
+        lease = manager.acquire("gpu-0", "alice", units.SECOND)
+        assert lease is not None
+        assert manager.acquire("gpu-0", "bob", units.SECOND) is None
+        assert manager.stats.refusals_held == 1
+
+    def test_regrant_after_expiry(self, world):
+        sim, cluster, manager, holder = world
+        manager.acquire("gpu-0", "alice", units.SECOND)
+        sim.run(until=sim.now + 2 * units.SECOND)
+        lease = manager.acquire("gpu-0", "bob", units.SECOND)
+        assert lease is not None
+        assert lease.holder == "bob"
+
+    def test_regrant_after_release(self, world):
+        sim, cluster, manager, holder = world
+        lease = manager.acquire("gpu-0", "alice", 10 * units.SECOND)
+        manager.release(lease)
+        assert manager.acquire("gpu-0", "bob", units.SECOND) is not None
+
+    def test_different_resources_independent(self, world):
+        sim, cluster, manager, holder = world
+        assert manager.acquire("gpu-0", "alice", units.SECOND) is not None
+        assert manager.acquire("gpu-1", "bob", units.SECOND) is not None
+
+    def test_refuses_while_tainted(self, world):
+        sim, cluster, manager, holder = world
+        cluster.monitoring_port(1).fire("aex")
+        assert manager.acquire("gpu-0", "alice", units.SECOND) is None
+        assert manager.stats.refusals_unavailable == 1
+
+    def test_invalid_duration_rejected(self, world):
+        _, _, manager, _ = world
+        with pytest.raises(ConfigurationError):
+            manager.acquire("gpu-0", "alice", 0)
+
+
+class TestHolderView:
+    def test_holder_judges_validity_with_own_clock(self, world):
+        sim, cluster, manager, holder = world
+        lease = manager.acquire("gpu-0", "alice", units.SECOND)
+        assert holder.believes_valid(lease)
+        sim.run(until=sim.now + 2 * units.SECOND)
+        assert not holder.believes_valid(lease)
+
+    def test_tainted_holder_fails_safe(self, world):
+        sim, cluster, manager, holder = world
+        lease = manager.acquire("gpu-0", "alice", 10 * units.SECOND)
+        cluster.monitoring_port(2).fire("aex")
+        assert not holder.believes_valid(lease)
+
+
+class TestAuditor:
+    def test_clean_history_has_no_violations(self, world):
+        sim, cluster, manager, holder = world
+        for _ in range(5):
+            manager.acquire("gpu-0", "x", units.SECOND)
+            sim.run(until=sim.now + 2 * units.SECOND)
+        assert LeaseAuditor().audit(manager) == []
+
+    def test_release_based_regrant_not_flagged(self, world):
+        sim, cluster, manager, holder = world
+        lease = manager.acquire("gpu-0", "alice", 10 * units.SECOND)
+        sim.run(until=sim.now + units.SECOND)
+        manager.release(lease)
+        manager.acquire("gpu-0", "bob", units.SECOND)
+        assert LeaseAuditor().audit(manager) == []
+
+    def test_fast_grantor_clock_causes_double_grant(self, world):
+        """Force the grantor's clock ahead (as an F− infection would) and
+        observe the mutual-exclusion violation."""
+        sim, cluster, manager, holder = world
+        manager.acquire("gpu-0", "alice", 10 * units.SECOND)
+        # The grantor's clock skips 11 s into the future.
+        node = cluster.node(1)
+        node.clock.set_reference(node.clock.now_unchecked() + 11 * units.SECOND)
+        sim.run(until=sim.now + units.SECOND)
+        lease = manager.acquire("gpu-0", "bob", 10 * units.SECOND)
+        assert lease is not None  # manager believes alice's lease expired
+        violations = LeaseAuditor().audit(manager)
+        assert len(violations) == 1
+        assert violations[0].overlap_ns > 8 * units.SECOND
+        # Honest alice still believes she holds the resource.
+        assert holder.believes_valid(manager.history[0][1])
+
+
+class TestEndToEndAttack:
+    def test_fminus_propagation_causes_lease_violations(self):
+        """Full-protocol version: the lease manager sits on an honest node
+        that gets infected by the F− attack; double grants follow."""
+        from repro.experiments import scenarios
+
+        experiment = scenarios.fminus_propagation(seed=321, switch_at_ns=30 * units.SECOND)
+        sim = experiment.sim
+        sim.run(until=10 * units.SECOND)
+        manager = LeaseManager(experiment.node(1))
+
+        def lessor():
+            while True:
+                manager.acquire("db-shard", "tenant", 20 * units.SECOND)
+                yield sim.timeout(units.SECOND)
+
+        sim.process(lessor())
+        sim.run(until=120 * units.SECOND)
+        violations = LeaseAuditor().audit(manager)
+        assert violations, "infection should produce double grants"
+        assert max(v.overlap_ns for v in violations) > units.SECOND

@@ -1,0 +1,109 @@
+"""Tests for trusted-time timeout monitoring (BFT leader-change use case)."""
+
+import pytest
+
+from repro.apps.timeouts import HeartbeatSource, TimeoutWatchdog
+from repro.errors import ConfigurationError
+from repro.sim import units
+
+from tests.core.conftest import build_cluster
+
+
+def make_watchdog(sim, cluster, deadline_s=2, poll_ms=100):
+    return TimeoutWatchdog(
+        sim,
+        cluster.node(1),
+        deadline_ns=deadline_s * units.SECOND,
+        poll_interval_ns=poll_ms * units.MILLISECOND,
+    )
+
+
+@pytest.fixture
+def world():
+    sim, cluster = build_cluster(seed=330)
+    sim.run(until=5 * units.SECOND)
+    return sim, cluster
+
+
+class TestHonestOperation:
+    def test_live_source_never_times_out(self, world):
+        sim, cluster = world
+        watchdog = make_watchdog(sim, cluster)
+        HeartbeatSource(sim, watchdog, interval_ns=500 * units.MILLISECOND)
+        sim.run(until=60 * units.SECOND)
+        assert watchdog.stats.timeouts_fired == 0
+        assert watchdog.stats.heartbeats_seen > 100
+
+    def test_dead_source_detected_promptly(self, world):
+        sim, cluster = world
+        watchdog = make_watchdog(sim, cluster, deadline_s=2)
+        source = HeartbeatSource(sim, watchdog, interval_ns=500 * units.MILLISECOND)
+        sim.run(until=20 * units.SECOND)
+        source.fail()
+        sim.run(until=40 * units.SECOND)
+        assert watchdog.stats.timeouts_fired >= 1
+        latency = watchdog.stats.true_detection_latency_ns
+        assert latency is not None
+        # Detection within deadline + heartbeat interval + poll slack.
+        assert latency < 3 * units.SECOND
+        assert watchdog.stats.spurious_timeouts == 0
+
+    def test_validation(self, world):
+        sim, cluster = world
+        with pytest.raises(ConfigurationError):
+            TimeoutWatchdog(sim, cluster.node(1), deadline_ns=0, poll_interval_ns=1)
+        watchdog = make_watchdog(sim, cluster)
+        with pytest.raises(ConfigurationError):
+            HeartbeatSource(sim, watchdog, interval_ns=0)
+
+
+class TestClockAttacks:
+    def test_forward_time_jump_fires_spurious_timeout(self, world):
+        """An F−-style forward skip makes the watchdog see a huge gap and
+        depose a perfectly live leader."""
+        sim, cluster = world
+        watchdog = make_watchdog(sim, cluster, deadline_s=2)
+        HeartbeatSource(sim, watchdog, interval_ns=500 * units.MILLISECOND)
+        sim.run(until=10 * units.SECOND)
+        node = cluster.node(1)
+        node.clock.set_reference(node.clock.now_unchecked() + 5 * units.SECOND)
+        sim.run(until=12 * units.SECOND)
+        assert watchdog.stats.spurious_timeouts >= 1
+
+    def test_slow_clock_delays_failure_detection(self):
+        """An F+-slowed clock (10%) stretches the measured gap: detection
+        latency grows accordingly — the procrastinating-leader hazard."""
+        latencies = {}
+        for label, skew in (("honest", 1.0), ("slowed", 1.1)):
+            sim, cluster = build_cluster(seed=331)
+            sim.run(until=5 * units.SECOND)
+            node = cluster.node(1)
+            if skew != 1.0:
+                node.clock.set_frequency(node.clock.frequency_hz * skew)
+            watchdog = make_watchdog(sim, cluster, deadline_s=5)
+            source = HeartbeatSource(sim, watchdog, interval_ns=500 * units.MILLISECOND)
+            sim.run(until=20 * units.SECOND)
+            source.fail()
+            sim.run(until=60 * units.SECOND)
+            latencies[label] = watchdog.stats.true_detection_latency_ns
+        assert latencies["honest"] is not None
+        assert latencies["slowed"] is not None
+        assert latencies["slowed"] > latencies["honest"]
+
+    def test_fminus_infection_end_to_end_spurious_leader_changes(self):
+        from repro.experiments import scenarios
+
+        experiment = scenarios.fminus_propagation(seed=332, switch_at_ns=30 * units.SECOND)
+        sim = experiment.sim
+        sim.run(until=10 * units.SECOND)
+        watchdog = TimeoutWatchdog(
+            sim,
+            experiment.node(1),
+            deadline_ns=2 * units.SECOND,
+            poll_interval_ns=100 * units.MILLISECOND,
+        )
+        HeartbeatSource(sim, watchdog, interval_ns=500 * units.MILLISECOND)
+        sim.run(until=90 * units.SECOND)
+        assert watchdog.stats.spurious_timeouts >= 1, (
+            "the infection's forward jumps should depose a live leader"
+        )

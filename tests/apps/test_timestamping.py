@@ -1,0 +1,117 @@
+"""Tests for the TEE-hosted TimeStamping Authority."""
+
+import hashlib
+
+import pytest
+
+from repro.apps.timestamping import TimestampingAuthority, TokenVerifier
+from repro.errors import ConfigurationError, ProtocolError
+from repro.sim import units
+
+from tests.core.conftest import build_cluster
+
+
+def digest(text: str) -> bytes:
+    return hashlib.sha256(text.encode()).digest()
+
+
+@pytest.fixture
+def world():
+    sim, cluster = build_cluster(seed=310)
+    sim.run(until=5 * units.SECOND)
+    tsa = TimestampingAuthority(cluster.node(1))
+    verifier = TokenVerifier(sim, tsa)
+    return sim, cluster, tsa, verifier
+
+
+class TestIssuance:
+    def test_token_carries_trusted_time(self, world):
+        sim, cluster, tsa, verifier = world
+        token = tsa.issue(digest("doc"))
+        assert token is not None
+        assert abs(token.timestamp_ns - sim.now) < units.MILLISECOND
+        assert tsa.stats.issued == 1
+
+    def test_refuses_while_tainted(self, world):
+        sim, cluster, tsa, verifier = world
+        cluster.monitoring_port(1).fire("aex")
+        assert tsa.issue(digest("doc")) is None
+        assert tsa.stats.refused_unavailable == 1
+
+    def test_empty_digest_rejected(self, world):
+        _, _, tsa, _ = world
+        with pytest.raises(ConfigurationError):
+            tsa.issue(b"")
+
+    def test_tokens_monotonically_timestamped(self, world):
+        sim, cluster, tsa, verifier = world
+        timestamps = []
+        for i in range(5):
+            token = tsa.issue(digest(f"doc-{i}"))
+            timestamps.append(token.timestamp_ns)
+            sim.run(until=sim.now + units.MILLISECOND)
+        assert all(b > a for a, b in zip(timestamps, timestamps[1:]))
+
+
+class TestVerification:
+    def test_honest_token_verifies(self, world):
+        sim, cluster, tsa, verifier = world
+        token = tsa.issue(digest("doc"))
+        report = verifier.audit([token])
+        assert report.valid == 1
+        assert report.post_dated == 0
+
+    def test_forged_signature_rejected(self, world):
+        import dataclasses
+
+        sim, cluster, tsa, verifier = world
+        token = tsa.issue(digest("doc"))
+        forged = dataclasses.replace(token, timestamp_ns=token.timestamp_ns + 10**12)
+        report = verifier.audit([forged])
+        assert report.bad_signature == 1
+
+    def test_unknown_tsa_rejected(self, world):
+        sim, cluster, tsa, verifier = world
+        import dataclasses
+
+        token = tsa.issue(digest("doc"))
+        alien = dataclasses.replace(token, tsa_name="mallory")
+        from repro.apps.timestamping import VerificationReport
+
+        with pytest.raises(ProtocolError):
+            verifier.verify(alien, VerificationReport())
+
+
+class TestUnderAttack:
+    def test_fminus_infected_tsa_issues_post_dated_tokens(self):
+        """An F−-infected host's TSA post-dates tokens; an external
+        verifier flags them as physically impossible."""
+        from repro.experiments import scenarios
+
+        experiment = scenarios.fminus_propagation(seed=311, switch_at_ns=30 * units.SECOND)
+        sim = experiment.sim
+        sim.run(until=10 * units.SECOND)
+        # TSA runs on honest node-1 — which will be infected at t=30s.
+        tsa = TimestampingAuthority(experiment.node(1))
+        verifier = TokenVerifier(sim, tsa, future_tolerance_ns=units.SECOND)
+        from repro.apps.timestamping import VerificationReport
+
+        # The relying party verifies each token as it is received — a
+        # post-dated token is only detectable while its claimed time is
+        # still in the verifier's future.
+        report = VerificationReport()
+
+        def issuer():
+            for i in range(40):
+                token = tsa.issue(digest(f"doc-{i}"))
+                if token is not None:
+                    verifier.verify(token, report)
+                yield sim.timeout(2 * units.SECOND)
+
+        sim.process(issuer())
+        sim.run(until=100 * units.SECOND)
+        assert report.post_dated > 0, "infection should be visible as post-dating"
+        assert report.valid > 0, "pre-infection tokens remain valid"
+        # The flagged tokens are far in the future — seconds, not slack.
+        worst = max(ahead for _, ahead in report.post_dated_tokens)
+        assert worst > units.SECOND

@@ -1,0 +1,171 @@
+"""Tests for Byzantine (lying) cluster members — beyond the paper's model.
+
+The original protocol trusts every peer response (TEE integrity assumed);
+these tests quantify what a single compromised *enclave* can do to each
+protocol variant, validating the §V honest-majority design.
+"""
+
+import pytest
+
+from repro.attacks.byzantine import ByzantineTriadNode
+from repro.core.cluster import ClusterConfig, TriadCluster
+from repro.core.node import TriadNodeConfig
+from repro.errors import ConfigurationError
+from repro.hardened.node import HardenedTriadNode
+from repro.net.delays import ConstantDelay
+from repro.sim import Simulator, units
+
+from tests.hardened.test_node import fast_hardened_config
+
+
+def build_mixed_cluster(seed, honest_class, liar_count=1, node_count=3):
+    """Cluster with `liar_count` Byzantine nodes at the end of the roster."""
+    sim = Simulator(seed=seed)
+    node_classes = [honest_class] * (node_count - liar_count) + (
+        [ByzantineTriadNode] * liar_count
+    )
+    if honest_class is HardenedTriadNode:
+        node_config = fast_hardened_config()
+    else:
+        node_config = TriadNodeConfig(
+            calibration_rounds=1,
+            calibration_sleeps_ns=(0, 100 * units.MILLISECOND),
+            monitor_calibration_samples=4,
+        )
+    config = ClusterConfig(
+        node_count=node_count,
+        node_classes=node_classes,
+        node_config=node_config,
+        delay_model=ConstantDelay(100 * units.MICROSECOND),
+    )
+    cluster = TriadCluster(sim, config)
+    liars = [node for node in cluster.nodes if isinstance(node, ByzantineTriadNode)]
+    return sim, cluster, liars
+
+
+class TestConfiguration:
+    def test_strategy_validation(self):
+        sim, cluster, liars = build_mixed_cluster(600, honest_class=None)
+        with pytest.raises(ConfigurationError):
+            liars[0].configure_lies("gaslight")
+
+    def test_mixed_cluster_wiring(self):
+        sim, cluster, liars = build_mixed_cluster(601, honest_class=None)
+        assert len(liars) == 1
+        assert liars[0].name == "node-3"
+        assert not isinstance(cluster.node(1), ByzantineTriadNode)
+
+
+class TestAgainstOriginalProtocol:
+    def test_far_future_lie_infects_everyone_instantly(self):
+        """No calibration attack needed: one lying peer response and the
+        original adopt-the-maximum policy skips honest clocks 30 s ahead."""
+        sim, cluster, liars = build_mixed_cluster(602, honest_class=None)
+        liars[0].configure_lies("far-future", shift_ns=30 * units.SECOND)
+        sim.run(until=10 * units.SECOND)
+        cluster.monitoring_port(1).fire("aex")
+        sim.run(until=12 * units.SECOND)
+        assert cluster.node(1).drift_ns() > 29 * units.SECOND
+
+    def test_far_past_lie_is_harmless_to_original_policy(self):
+        sim, cluster, liars = build_mixed_cluster(603, honest_class=None)
+        liars[0].configure_lies("far-past", shift_ns=30 * units.SECOND)
+        sim.run(until=10 * units.SECOND)
+        cluster.monitoring_port(1).fire("aex")
+        sim.run(until=12 * units.SECOND)
+        # Stale timestamps are never adopted; only the minimal bump applies.
+        assert abs(cluster.node(1).drift_ns()) < units.MILLISECOND
+
+    def test_liar_answers_even_while_honest_nodes_would_be_silent(self):
+        sim, cluster, liars = build_mixed_cluster(604, honest_class=None)
+        liars[0].configure_lies("far-future")
+        sim.run(until=10 * units.SECOND)
+        # Taint the liar too: an honest node would not answer; the liar does.
+        cluster.monitoring_port(3).fire("aex")
+        cluster.monitoring_port(1).fire("aex")
+        sim.run(until=12 * units.SECOND)
+        assert liars[0].byzantine_stats.lies_told >= 1
+
+
+class TestAgainstHardenedProtocol:
+    def test_far_future_lie_rejected_by_chimer_filter(self):
+        sim, cluster, liars = build_mixed_cluster(605, honest_class=HardenedTriadNode)
+        liars[0].configure_lies("far-future", shift_ns=30 * units.SECOND)
+        sim.run(until=10 * units.SECOND)
+        cluster.monitoring_port(1).fire("aex")
+        sim.run(until=12 * units.SECOND)
+        node = cluster.node(1)
+        assert abs(node.drift_ns()) < 10 * units.MILLISECOND
+        assert node.hardened_stats.peer_readings_rejected >= 1
+
+    def test_wide_interval_lie_gains_nothing(self):
+        """Claiming absurd uncertainty blankets everyone, but the Marzullo
+        intersection stays pinned by the honest narrow intervals."""
+        sim, cluster, liars = build_mixed_cluster(606, honest_class=HardenedTriadNode)
+        liars[0].configure_lies("wide")
+        sim.run(until=10 * units.SECOND)
+        cluster.monitoring_port(1).fire("aex")
+        sim.run(until=12 * units.SECOND)
+        assert abs(cluster.node(1).drift_ns()) < 10 * units.MILLISECOND
+
+    def test_shifted_lie_bounded_by_honest_error_bounds(self):
+        """The strongest lie keeps overlapping honest intervals: the
+        midpoint displacement is capped by the honest error bound, not by
+        the liar's ambition."""
+        sim, cluster, liars = build_mixed_cluster(607, honest_class=HardenedTriadNode)
+        liars[0].configure_lies("shifted", shift_ns=2 * units.MILLISECOND, bound_ns=units.MILLISECOND)
+        sim.run(until=10 * units.SECOND)
+        cluster.monitoring_port(1).fire("aex")
+        sim.run(until=12 * units.SECOND)
+        # Far below the 2 ms the liar attempted, and bounded regardless of
+        # how much larger the shift is made.
+        assert abs(cluster.node(1).drift_ns()) < 5 * units.MILLISECOND
+
+    def test_liar_minority_in_five_node_cluster_defeated(self):
+        """Two coordinated liars out of five: still a minority, so their
+        mutually-consistent clique (2) cannot reach the majority bar (3)
+        and the honest clique wins."""
+        sim, cluster, liars = build_mixed_cluster(
+            608, honest_class=HardenedTriadNode, liar_count=2, node_count=5
+        )
+        for liar in liars:
+            liar.configure_lies("far-future", shift_ns=30 * units.SECOND)
+        sim.run(until=10 * units.SECOND)
+        cluster.monitoring_port(1).fire("aex")
+        sim.run(until=13 * units.SECOND)
+        node = cluster.node(1)
+        assert abs(node.drift_ns()) < 10 * units.MILLISECOND
+        assert node.hardened_stats.peer_readings_rejected >= 2
+
+    def test_compromised_majority_wins_transiently_ta_discipline_recovers(self):
+        """Two coordinated liars out of THREE are a majority: their clique
+        outvotes the honest clock and the node follows it — peer filtering
+        alone cannot survive a compromised majority (the §V assumption is
+        *necessary*). Defense in depth still holds: the node's own TA
+        discipline re-anchors it within a few deadline periods."""
+        sim, cluster, liars = build_mixed_cluster(
+            609, honest_class=HardenedTriadNode, liar_count=2
+        )
+        for liar in liars:
+            liar.configure_lies("far-future", shift_ns=30 * units.SECOND)
+        sim.run(until=10 * units.SECOND)
+        cluster.monitoring_port(1).fire("aex")
+        node = cluster.node(1)
+        sim.run(until=30 * units.SECOND)
+        # Transient breach: the lie clique *was* adopted — the untaint log
+        # records a ~30 s forward jump to the liars' midpoint.
+        assert node.hardened_stats.untaints_from_clique >= 1
+        clique_jumps = [
+            outcome.jump_ns
+            for outcome in node.stats.untaint_outcomes
+            if outcome.source == "chimer-clique"
+        ]
+        assert max(clique_jumps) > 25 * units.SECOND
+        # Recovery: the TA discipline's next poll detects the reference
+        # rewrite and steps the clock straight back.
+        assert abs(node.drift_ns()) < units.SECOND
+        assert node.hardened_stats.discipline_outlier_windows >= 1
+        # And its frequency was never corrupted by the step-contaminated
+        # window (rewrite-straddling windows are discarded).
+        true_frequency = cluster.machine.tsc.frequency_hz
+        assert abs(node.clock.frequency_hz / true_frequency - 1) < 1e-3

@@ -1,0 +1,138 @@
+"""Tests for the F+ / F− calibration delay attacks."""
+
+import pytest
+
+from repro.attacks.delay import AttackMode, CalibrationDelayAttacker
+from repro.core.cluster import ClusterConfig, TA_NAME, TriadCluster
+from repro.errors import ConfigurationError
+from repro.net.delays import ConstantDelay
+from repro.sim import Simulator, units
+
+from tests.core.conftest import fast_node_config
+
+
+def attacked_cluster(mode, seed=50, victim="node-3"):
+    sim = Simulator(seed=seed)
+    config = ClusterConfig(
+        delay_model=ConstantDelay(100 * units.MICROSECOND),
+        node_config=fast_node_config(calibration_sleeps_ns=(0, units.SECOND)),
+    )
+    cluster = TriadCluster(sim, config)
+    attacker = CalibrationDelayAttacker(
+        sim,
+        victim_host=victim,
+        ta_host=TA_NAME,
+        mode=mode,
+        added_delay_ns=100 * units.MILLISECOND,
+    )
+    cluster.network.add_adversary(attacker)
+    return sim, cluster, attacker
+
+
+class TestFrequencySkew:
+    def test_fplus_inflates_victim_frequency_by_ten_percent(self):
+        sim, cluster, attacker = attacked_cluster(AttackMode.F_PLUS)
+        sim.run(until=20 * units.SECOND)
+        victim_frequency = cluster.node(3).stats.latest_frequency_hz
+        true_frequency = cluster.machine.tsc.frequency_hz
+        assert victim_frequency / true_frequency == pytest.approx(1.1, rel=1e-3)
+
+    def test_fminus_deflates_victim_frequency_by_ten_percent(self):
+        sim, cluster, attacker = attacked_cluster(AttackMode.F_MINUS)
+        sim.run(until=20 * units.SECOND)
+        victim_frequency = cluster.node(3).stats.latest_frequency_hz
+        true_frequency = cluster.machine.tsc.frequency_hz
+        assert victim_frequency / true_frequency == pytest.approx(0.9, rel=1e-3)
+
+    def test_honest_nodes_unaffected(self):
+        sim, cluster, attacker = attacked_cluster(AttackMode.F_MINUS)
+        sim.run(until=20 * units.SECOND)
+        true_frequency = cluster.machine.tsc.frequency_hz
+        for index in (1, 2):
+            frequency = cluster.node(index).stats.latest_frequency_hz
+            assert frequency == pytest.approx(true_frequency, rel=1e-6)
+
+    def test_predicted_skew_matches_formula(self):
+        sim, cluster, attacker = attacked_cluster(AttackMode.F_PLUS)
+        predicted = attacker.expected_frequency_skew((0, units.SECOND))
+        assert predicted == pytest.approx(1.1)
+        sim.run(until=20 * units.SECOND)
+        measured = (
+            cluster.node(3).stats.latest_frequency_hz / cluster.machine.tsc.frequency_hz
+        )
+        assert measured == pytest.approx(predicted, rel=1e-3)
+
+
+class TestDriftDirection:
+    def test_fplus_slows_victim_clock(self):
+        sim, cluster, attacker = attacked_cluster(AttackMode.F_PLUS)
+        sim.run(until=30 * units.SECOND)
+        # ~-91 ms/s since calibration completed.
+        assert cluster.node(3).drift_ns() < -units.SECOND
+
+    def test_fminus_quickens_victim_clock(self):
+        sim, cluster, attacker = attacked_cluster(AttackMode.F_MINUS)
+        sim.run(until=30 * units.SECOND)
+        assert cluster.node(3).drift_ns() > units.SECOND
+
+
+class TestSleepEstimation:
+    def test_attacker_separates_sleep_classes_blindly(self):
+        """The attacker never reads s, yet classifies exchanges correctly."""
+        sim, cluster, attacker = attacked_cluster(AttackMode.F_PLUS)
+        sim.run(until=20 * units.SECOND)
+        estimates = attacker.sleep_estimates
+        assert estimates, "attacker saw no calibration exchanges"
+        lows = [e for e, _ in estimates if e < 250 * units.MILLISECOND]
+        highs = [e for e, _ in estimates if e >= 250 * units.MILLISECOND]
+        assert lows and highs
+        # Low estimates cluster near the RTT (sub-ms); highs near 1s.
+        assert max(lows) < 10 * units.MILLISECOND
+        assert min(highs) > 900 * units.MILLISECOND
+
+    def test_fplus_delays_only_high_sleep_responses(self):
+        sim, cluster, attacker = attacked_cluster(AttackMode.F_PLUS)
+        sim.run(until=20 * units.SECOND)
+        for estimate, delayed in attacker.sleep_estimates:
+            assert delayed == (estimate >= 250 * units.MILLISECOND)
+
+    def test_fminus_delays_only_low_sleep_responses(self):
+        sim, cluster, attacker = attacked_cluster(AttackMode.F_MINUS)
+        sim.run(until=20 * units.SECOND)
+        for estimate, delayed in attacker.sleep_estimates:
+            assert delayed == (estimate < 250 * units.MILLISECOND)
+
+    def test_disabled_attacker_observes_but_does_not_delay(self):
+        sim, cluster, attacker = attacked_cluster(AttackMode.F_PLUS)
+        attacker.disable()
+        sim.run(until=20 * units.SECOND)
+        assert all(not delayed for _, delayed in attacker.sleep_estimates)
+        victim_frequency = cluster.node(3).stats.latest_frequency_hz
+        assert victim_frequency == pytest.approx(
+            cluster.machine.tsc.frequency_hz, rel=1e-6
+        )
+
+
+class TestScope:
+    def test_attacker_only_touches_victim_ta_flow(self):
+        sim, cluster, attacker = attacked_cluster(AttackMode.F_PLUS)
+        sim.run(until=20 * units.SECOND)
+        for observation, _ in attacker.interferences:
+            assert {observation.source_host, observation.destination_host} == {
+                "node-3",
+                TA_NAME,
+            }
+
+    def test_validation(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ConfigurationError):
+            CalibrationDelayAttacker(sim, "v", "ta", AttackMode.F_PLUS, added_delay_ns=0)
+        with pytest.raises(ConfigurationError):
+            CalibrationDelayAttacker(
+                sim, "v", "ta", AttackMode.F_PLUS, sleep_threshold_ns=0
+            )
+        attacker = CalibrationDelayAttacker(sim, "v", "ta", AttackMode.F_PLUS)
+        with pytest.raises(ConfigurationError):
+            attacker.expected_frequency_skew((units.SECOND,))
+        with pytest.raises(ConfigurationError):
+            attacker.expected_frequency_skew((units.SECOND, units.SECOND))

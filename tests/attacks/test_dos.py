@@ -1,0 +1,91 @@
+"""Tests for the TA blackhole attack: fail-closed, degrade, recover."""
+
+import pytest
+
+from repro.attacks.dos import TaBlackholeAttack
+from repro.core.cluster import TA_NAME
+from repro.core.states import NodeState
+from repro.errors import ConfigurationError
+from repro.sim import Simulator, units
+
+from tests.core.conftest import build_cluster
+
+
+class TestConfiguration:
+    def test_invalid_window_rejected(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ConfigurationError):
+            TaBlackholeAttack(sim, TA_NAME, start_ns=10, stop_ns=10)
+
+    def test_scoped_to_victims(self):
+        sim, cluster = build_cluster(seed=150)
+        attack = TaBlackholeAttack(sim, TA_NAME, victims={"node-1"})
+        cluster.network.add_adversary(attack)
+        sim.run(until=5 * units.SECOND)
+        # Node 1 cannot finish FullCalib; nodes 2 and 3 can.
+        assert cluster.node(1).state is NodeState.FULL_CALIB
+        assert cluster.node(2).state is NodeState.OK
+        assert cluster.node(3).state is NodeState.OK
+        assert attack.dropped_count > 0
+
+
+class TestFailClosed:
+    def test_blackhole_starves_refcalib_but_never_corrupts(self):
+        sim, cluster = build_cluster(seed=151)
+        sim.run(until=5 * units.SECOND)  # calibrate cleanly first
+        attack = TaBlackholeAttack(sim, TA_NAME, start_ns=5 * units.SECOND)
+        cluster.network.add_adversary(attack)
+        # Simultaneous taint: peers cannot help, the TA is gone.
+        for index in (1, 2, 3):
+            cluster.monitoring_port(index).fire("correlated")
+        sim.run(until=30 * units.SECOND)
+        for index in (1, 2, 3):
+            node = cluster.node(index)
+            assert node.state is NodeState.REF_CALIB  # stuck, not crashed
+            assert node.try_get_timestamp() is None  # unavailable
+            assert node.stats.ta_fetch_failures > 0
+
+    def test_recovery_after_blackhole_ends(self):
+        sim, cluster = build_cluster(seed=152)
+        sim.run(until=5 * units.SECOND)
+        attack = TaBlackholeAttack(
+            sim, TA_NAME, start_ns=5 * units.SECOND, stop_ns=20 * units.SECOND
+        )
+        cluster.network.add_adversary(attack)
+        for index in (1, 2, 3):
+            cluster.monitoring_port(index).fire("correlated")
+        sim.run(until=40 * units.SECOND)
+        for index in (1, 2, 3):
+            node = cluster.node(index)
+            assert node.state is NodeState.OK
+            assert abs(node.drift_ns()) < units.MILLISECOND
+
+    def test_availability_dip_visible_in_timeline(self):
+        sim, cluster = build_cluster(seed=153)
+        sim.run(until=5 * units.SECOND)
+        attack = TaBlackholeAttack(
+            sim, TA_NAME, start_ns=5 * units.SECOND, stop_ns=25 * units.SECOND
+        )
+        cluster.network.add_adversary(attack)
+        for index in (1, 2, 3):
+            cluster.monitoring_port(index).fire("correlated")
+        sim.run(until=40 * units.SECOND)
+        node = cluster.node(1)
+        from repro.core.states import NodeState as NS
+
+        refcalib_time = node.timeline.time_in_state(NS.REF_CALIB, sim.now)
+        # Stuck in RefCalib for roughly the blackhole's duration.
+        assert refcalib_time > 15 * units.SECOND
+
+    def test_peer_untainting_unaffected_by_ta_blackhole(self):
+        """With peers alive, the TA outage is invisible: solo AEXs still
+        untaint via the cluster."""
+        sim, cluster = build_cluster(seed=154)
+        sim.run(until=5 * units.SECOND)
+        attack = TaBlackholeAttack(sim, TA_NAME, start_ns=5 * units.SECOND)
+        cluster.network.add_adversary(attack)
+        cluster.monitoring_port(1).fire("solo")
+        sim.run(until=10 * units.SECOND)
+        node = cluster.node(1)
+        assert node.state is NodeState.OK
+        assert node.stats.peer_untaints == 1

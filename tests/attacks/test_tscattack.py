@@ -1,0 +1,80 @@
+"""Tests for hypervisor TSC attacks and their detection by the monitor."""
+
+import pytest
+
+from repro.attacks.tscattack import TscOffsetAttack, TscScaleAttack
+from repro.errors import ConfigurationError
+from repro.hardware.tsc import TimestampCounter
+from repro.sim import Simulator, units
+
+from tests.core.conftest import build_cluster
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=70)
+
+
+class TestScriptedManipulations:
+    def test_scale_attack_applies_at_time(self, sim):
+        tsc = TimestampCounter(sim, frequency_hz=1_000_000_000)
+        TscScaleAttack(sim, tsc, at_ns=units.SECOND, scale=2.0)
+        sim.run(until=2 * units.SECOND)
+        assert tsc.read() == pytest.approx(3_000_000_000, rel=1e-9)
+
+    def test_offset_attack_applies_at_time(self, sim):
+        tsc = TimestampCounter(sim, frequency_hz=1_000_000_000)
+        TscOffsetAttack(sim, tsc, at_ns=units.SECOND, offset_ticks=-500_000)
+        sim.run(until=units.SECOND)
+        assert tsc.read() == 1_000_000_000 - 500_000
+
+    def test_validation(self, sim):
+        tsc = TimestampCounter(sim)
+        with pytest.raises(ConfigurationError):
+            TscScaleAttack(sim, tsc, at_ns=0, scale=0)
+        with pytest.raises(ConfigurationError):
+            TscOffsetAttack(sim, tsc, at_ns=0, offset_ticks=0)
+
+
+class TestDetectionByProtocol:
+    def test_scale_attack_detected_and_recovered(self):
+        """The INC monitor catches a TSC rescale; the node recalibrates and
+        its clock keeps tracking reference time at the new scale."""
+        sim, cluster = build_cluster(seed=71)
+        sim.run(until=5 * units.SECOND)
+        node = cluster.node(1)
+        TscScaleAttack(sim, cluster.machine.tsc, at_ns=6 * units.SECOND, scale=1.05)
+        sim.run(until=40 * units.SECOND)
+        assert node.stats.monitor_alerts >= 1
+        assert len(node.stats.full_calibrations) >= 2
+        # After recalibration the clock tracks reference time again.
+        assert abs(node.drift_ns()) < 50 * units.MILLISECOND
+
+    def test_backward_offset_detected(self):
+        sim, cluster = build_cluster(seed=72)
+        sim.run(until=5 * units.SECOND)
+        node = cluster.node(1)
+        # Jump the TSC back by ~100 ms worth of ticks.
+        TscOffsetAttack(
+            sim,
+            cluster.machine.tsc,
+            at_ns=6 * units.SECOND,
+            offset_ticks=-290_000_000,
+        )
+        sim.run(until=40 * units.SECOND)
+        assert node.stats.monitor_alerts >= 1
+
+    def test_served_timestamps_never_go_back_despite_tsc_rewind(self):
+        sim, cluster = build_cluster(seed=73)
+        sim.run(until=5 * units.SECOND)
+        node = cluster.node(1)
+        before = node.get_timestamp()
+        TscOffsetAttack(
+            sim,
+            cluster.machine.tsc,
+            at_ns=sim.now + units.MILLISECOND,
+            offset_ticks=-2_900_000_000,  # ~1 s backwards
+        )
+        sim.run(until=sim.now + 30 * units.SECOND)
+        after = node.get_timestamp()
+        assert after > before

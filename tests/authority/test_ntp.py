@@ -1,0 +1,115 @@
+"""Tests for NTP-style synchronization primitives."""
+
+import pytest
+
+from repro.authority.ntp import (
+    DriftEstimator,
+    NTP_STANDARD_DRIFT_PPM,
+    SyncExchange,
+    filter_exchanges_by_delay,
+    poll_interval_ns,
+)
+from repro.errors import CalibrationError
+from repro.sim.units import MILLISECOND, SECOND
+
+
+class TestPollIntervals:
+    def test_paper_range(self):
+        assert poll_interval_ns(4) == 16 * SECOND
+        assert poll_interval_ns(17) == (1 << 17) * SECOND  # ~36.4 h
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CalibrationError):
+            poll_interval_ns(3)
+        with pytest.raises(CalibrationError):
+            poll_interval_ns(18)
+
+    def test_standard_drift_bound_is_15ppm(self):
+        assert NTP_STANDARD_DRIFT_PPM == 15.0
+
+
+class TestSyncExchange:
+    def test_symmetric_path_offset_exact(self):
+        # Client 100 units behind server; 10 units delay each way.
+        exchange = SyncExchange(t1=0, t2=110, t3=110, t4=20)
+        assert exchange.offset_ns == 100
+        assert exchange.delay_ns == 20
+
+    def test_server_processing_excluded_from_delay(self):
+        exchange = SyncExchange(t1=0, t2=10, t3=50, t4=60)  # 40 processing
+        assert exchange.delay_ns == 20
+
+    def test_asymmetric_attack_biases_offset_by_half(self):
+        honest = SyncExchange(t1=0, t2=10, t3=10, t4=20)
+        attacked = SyncExchange(t1=0, t2=10, t3=10, t4=120)  # +100 return-path
+        assert honest.offset_ns == 0
+        assert attacked.offset_ns == -50  # half the injected delay
+        assert attacked.delay_ns == honest.delay_ns + 100  # fully visible in delay
+
+    def test_zero_offset_when_synchronized(self):
+        exchange = SyncExchange(t1=1000, t2=1010, t3=1010, t4=1020)
+        assert exchange.offset_ns == 0
+
+
+class TestDelayFilter:
+    def test_keeps_low_delay_exchanges(self):
+        clean = [SyncExchange(0, 10, 10, 20 + i) for i in range(3)]
+        attacked = SyncExchange(0, 10, 10, 120)
+        kept = filter_exchanges_by_delay(clean + [attacked], tolerance_ratio=2.0)
+        assert attacked not in kept
+        assert len(kept) == 3
+
+    def test_empty_input(self):
+        assert filter_exchanges_by_delay([]) == []
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(CalibrationError):
+            filter_exchanges_by_delay([SyncExchange(0, 1, 1, 2)], tolerance_ratio=0.5)
+
+
+class TestDriftEstimator:
+    def test_constant_offset_means_zero_drift(self):
+        estimator = DriftEstimator(window_ns=100 * SECOND)
+        for i in range(5):
+            estimator.add_sample(i * SECOND, 5 * MILLISECOND)
+        assert estimator.drift_rate() == pytest.approx(0.0, abs=1e-12)
+
+    def test_linear_drift_recovered(self):
+        estimator = DriftEstimator(window_ns=1000 * SECOND)
+        # Offset shrinking by 100 µs per second: local clock fast by 100 ppm.
+        for i in range(10):
+            estimator.add_sample(i * SECOND, -i * 100_000)
+        assert estimator.drift_ppm() == pytest.approx(-100.0, rel=1e-9)
+
+    def test_window_drops_old_samples(self):
+        estimator = DriftEstimator(window_ns=10 * SECOND)
+        estimator.add_sample(0, 0.0)
+        estimator.add_sample(12 * SECOND, 0.0)
+        estimator.add_sample(20 * SECOND, 0.0)
+        assert estimator.sample_count == 2  # the t=0 sample aged out
+
+    def test_insufficient_samples_raise(self):
+        estimator = DriftEstimator()
+        with pytest.raises(CalibrationError):
+            estimator.drift_rate()
+        estimator.add_sample(0, 1.0)
+        with pytest.raises(CalibrationError):
+            estimator.drift_rate()
+
+    def test_zero_span_raises(self):
+        estimator = DriftEstimator()
+        estimator.add_sample(5, 1.0)
+        estimator.add_sample(5, 2.0)
+        with pytest.raises(CalibrationError):
+            estimator.drift_rate()
+
+    def test_noisy_drift_estimate_within_tolerance(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        estimator = DriftEstimator(window_ns=10_000 * SECOND)
+        for i in range(60):
+            noise = rng.normal(0, 50_000)  # 50 µs measurement noise
+            estimator.add_sample(i * 16 * SECOND, -i * 16 * 113_000_000 + noise)
+        # True drift: -113 ms/s = -113000 ppm.
+        assert estimator.drift_ppm() == pytest.approx(-113_000, rel=0.001)

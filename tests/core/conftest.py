@@ -1,0 +1,40 @@
+"""Shared fixtures for core-protocol tests: fast cluster configurations."""
+
+import pytest
+
+from repro.core.cluster import ClusterConfig, TriadCluster
+from repro.core.node import TriadNodeConfig
+from repro.net.delays import ConstantDelay
+from repro.sim import Simulator, units
+
+
+def fast_node_config(**overrides) -> TriadNodeConfig:
+    """A node config tuned for test speed: short calibration, small monitor."""
+    defaults = dict(
+        calibration_rounds=1,
+        calibration_sleeps_ns=(0, 100 * units.MILLISECOND),
+        monitor_calibration_samples=4,
+        monitor_interval_ns=units.SECOND,
+        ta_timeout_margin_ns=200 * units.MILLISECOND,
+    )
+    defaults.update(overrides)
+    return TriadNodeConfig(**defaults)
+
+
+def build_cluster(seed=1, node_count=3, delay_ns=100 * units.MICROSECOND, **node_overrides):
+    """A deterministic cluster: constant network delay, fast calibration."""
+    sim = Simulator(seed=seed)
+    config = ClusterConfig(
+        node_count=node_count,
+        delay_model=ConstantDelay(delay_ns),
+        node_config=fast_node_config(**node_overrides),
+    )
+    return sim, TriadCluster(sim, config)
+
+
+@pytest.fixture
+def quiet_cluster():
+    """Three calibrated nodes, no AEX sources, run past initial calibration."""
+    sim, cluster = build_cluster(seed=20)
+    sim.run(until=5 * units.SECOND)
+    return sim, cluster

@@ -1,0 +1,72 @@
+"""Tests for the client-facing timestamp API."""
+
+import pytest
+
+from repro.core.api import TimestampClient
+from repro.errors import ConfigurationError
+from repro.sim import units
+
+from tests.core.conftest import build_cluster
+
+
+class TestPollingClient:
+    def test_client_records_successes(self):
+        sim, cluster = build_cluster(seed=40)
+        sim.run(until=5 * units.SECOND)
+        client = TimestampClient(sim, cluster.node(1), poll_interval_ns=units.SECOND)
+        sim.run(until=15 * units.SECOND)
+        # Polls at t=5..15s inclusive: 11 polls, all served.
+        assert client.stats.successes == 11
+        assert client.stats.refusals == 0
+        assert client.stats.availability == 1.0
+
+    def test_client_sees_refusals_during_calibration(self):
+        sim, cluster = build_cluster(seed=41)
+        client = TimestampClient(
+            sim, cluster.node(1), poll_interval_ns=10 * units.MILLISECOND
+        )
+        sim.run(until=2 * units.SECOND)
+        # Startup FullCalib takes a visible fraction of the first seconds.
+        assert client.stats.refusals > 0
+        assert client.stats.successes > 0
+        assert 0 < client.stats.availability < 1
+
+    def test_served_timestamps_monotonic(self):
+        sim, cluster = build_cluster(seed=42)
+        sim.run(until=5 * units.SECOND)
+        client = TimestampClient(
+            sim, cluster.node(1), poll_interval_ns=50 * units.MILLISECOND
+        )
+        # Interleave AEXs and peer untaints while the client polls.
+        def chaos():
+            for _ in range(5):
+                yield sim.timeout(units.SECOND)
+                cluster.monitoring_port(1).fire("chaos")
+
+        sim.process(chaos())
+        sim.run(until=12 * units.SECOND)
+        assert client.stats.successes > 50
+        assert client.stats.monotonic()
+
+    def test_start_delay(self):
+        sim, cluster = build_cluster(seed=43)
+        sim.run(until=5 * units.SECOND)
+        client = TimestampClient(
+            sim,
+            cluster.node(1),
+            poll_interval_ns=units.SECOND,
+            start_delay_ns=3 * units.SECOND,
+        )
+        sim.run(until=10 * units.SECOND)
+        assert client.stats.total == 3
+
+    def test_invalid_poll_interval_rejected(self):
+        sim, cluster = build_cluster(seed=44)
+        with pytest.raises(ConfigurationError):
+            TimestampClient(sim, cluster.node(1), poll_interval_ns=0)
+
+    def test_availability_requires_polls(self):
+        sim, cluster = build_cluster(seed=45)
+        client = TimestampClient(sim, cluster.node(1))
+        with pytest.raises(ConfigurationError):
+            client.stats.availability

@@ -1,0 +1,127 @@
+"""Tests for TSC-rate calibration estimators and the F± tilt mechanics."""
+
+import pytest
+
+from repro.core.calibration import (
+    CalibrationSample,
+    MeanOnlyCalibrator,
+    RegressionCalibrator,
+    regression_residuals,
+)
+from repro.errors import CalibrationError
+from repro.sim.units import MILLISECOND, SECOND
+
+F_TSC = 2_899_999_000.0  # the paper's TSC frequency in Hz
+
+
+def make_samples(sleeps_ns, rtt_ns, frequency_hz=F_TSC, extra_delay_by_sleep=None):
+    """Samples as the protocol would measure: ΔTSC = F·(s + rtt [+ attack])."""
+    extra = extra_delay_by_sleep or {}
+    samples = []
+    for sleep in sleeps_ns:
+        total = sleep + rtt_ns + extra.get(sleep, 0)
+        samples.append(
+            CalibrationSample(sleep_ns=sleep, tsc_increment=int(frequency_hz * total / SECOND))
+        )
+    return samples
+
+
+class TestSampleValidation:
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(CalibrationError):
+            CalibrationSample(sleep_ns=-1, tsc_increment=100)
+
+    def test_non_positive_increment_rejected(self):
+        with pytest.raises(CalibrationError):
+            CalibrationSample(sleep_ns=0, tsc_increment=0)
+
+
+class TestRegressionCalibrator:
+    def test_constant_rtt_cancels_exactly(self):
+        """With identical delay on every exchange, the slope is exact."""
+        samples = make_samples([0, SECOND, 0, SECOND], rtt_ns=MILLISECOND)
+        estimate = RegressionCalibrator().estimate(samples)
+        assert estimate == pytest.approx(F_TSC, rel=1e-6)
+
+    def test_large_constant_rtt_still_cancels(self):
+        samples = make_samples([0, SECOND], rtt_ns=500 * MILLISECOND)
+        estimate = RegressionCalibrator().estimate(samples)
+        assert estimate == pytest.approx(F_TSC, rel=1e-6)
+
+    def test_fplus_tilt_overestimates_by_delay_over_span(self):
+        """+100 ms on the 1 s sleeps: slope = 1.1 F — the paper's 3191 MHz."""
+        samples = make_samples(
+            [0, SECOND, 0, SECOND],
+            rtt_ns=MILLISECOND,
+            extra_delay_by_sleep={SECOND: 100 * MILLISECOND},
+        )
+        estimate = RegressionCalibrator().estimate(samples)
+        assert estimate == pytest.approx(1.1 * F_TSC, rel=1e-4)
+
+    def test_fminus_tilt_underestimates(self):
+        """+100 ms on the 0 s sleeps: slope = 0.9 F — the paper's 2610 MHz."""
+        samples = make_samples(
+            [0, SECOND, 0, SECOND],
+            rtt_ns=MILLISECOND,
+            extra_delay_by_sleep={0: 100 * MILLISECOND},
+        )
+        estimate = RegressionCalibrator().estimate(samples)
+        assert estimate == pytest.approx(0.9 * F_TSC, rel=1e-4)
+
+    def test_three_sleep_values_supported(self):
+        samples = make_samples([0, SECOND // 2, SECOND], rtt_ns=MILLISECOND)
+        estimate = RegressionCalibrator().estimate(samples)
+        assert estimate == pytest.approx(F_TSC, rel=1e-6)
+
+    def test_needs_two_distinct_sleeps(self):
+        samples = make_samples([SECOND, SECOND], rtt_ns=MILLISECOND)
+        with pytest.raises(CalibrationError):
+            RegressionCalibrator().estimate(samples)
+
+    def test_needs_two_samples(self):
+        samples = make_samples([SECOND], rtt_ns=MILLISECOND)
+        with pytest.raises(CalibrationError):
+            RegressionCalibrator().estimate(samples)
+
+
+class TestMeanOnlyCalibrator:
+    def test_always_overestimates(self):
+        """§III-C: the roundtrip is booked as sleep, so F is inflated."""
+        samples = make_samples([SECOND, SECOND], rtt_ns=MILLISECOND)
+        estimate = MeanOnlyCalibrator().estimate(samples)
+        assert estimate > F_TSC
+        assert estimate == pytest.approx(F_TSC * 1.001, rel=1e-6)
+
+    def test_overestimate_shrinks_with_longer_sleeps(self):
+        short = MeanOnlyCalibrator().estimate(make_samples([SECOND], rtt_ns=MILLISECOND))
+        long = MeanOnlyCalibrator().estimate(make_samples([60 * SECOND], rtt_ns=MILLISECOND))
+        assert F_TSC < long < short
+
+    def test_zero_sleep_samples_ignored(self):
+        samples = make_samples([0, SECOND], rtt_ns=MILLISECOND)
+        estimate = MeanOnlyCalibrator().estimate(samples)
+        assert estimate == pytest.approx(F_TSC * 1.001, rel=1e-6)
+
+    def test_only_zero_sleeps_rejected(self):
+        samples = make_samples([0, 0], rtt_ns=MILLISECOND)
+        with pytest.raises(CalibrationError):
+            MeanOnlyCalibrator().estimate(samples)
+
+
+class TestResiduals:
+    def test_residuals_recover_rtt(self):
+        samples = make_samples([0, SECOND], rtt_ns=MILLISECOND)
+        residuals = regression_residuals(samples, F_TSC)
+        assert residuals[0] == pytest.approx(MILLISECOND, rel=1e-3)
+        assert residuals[1] == pytest.approx(MILLISECOND, rel=1e-3)
+
+    def test_attacked_group_residuals_stand_out(self):
+        samples = make_samples(
+            [0, SECOND], rtt_ns=MILLISECOND, extra_delay_by_sleep={SECOND: 100 * MILLISECOND}
+        )
+        residuals = regression_residuals(samples, F_TSC)
+        assert residuals[1] - residuals[0] == pytest.approx(100 * MILLISECOND, rel=1e-3)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(CalibrationError):
+            regression_residuals([], 0)

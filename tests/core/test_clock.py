@@ -1,0 +1,152 @@
+"""Tests for the trusted clock: calibration state, taint, monotonicity."""
+
+import pytest
+
+from repro.core.clock import TrustedClock
+from repro.errors import CalibrationError
+from repro.hardware.tsc import TimestampCounter
+from repro.sim import Simulator, units
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=10)
+
+
+@pytest.fixture
+def tsc(sim):
+    return TimestampCounter(sim, frequency_hz=1_000_000_000)  # 1 tick/ns
+
+
+@pytest.fixture
+def clock(sim, tsc):
+    return TrustedClock(sim, tsc)
+
+
+def calibrated(clock):
+    clock.set_frequency(1_000_000_000.0)
+    clock.untaint_with_reference(0)
+    return clock
+
+
+class TestCalibrationState:
+    def test_uncalibrated_reads_rejected(self, clock):
+        assert not clock.calibrated
+        with pytest.raises(CalibrationError):
+            clock.now_unchecked()
+        with pytest.raises(CalibrationError):
+            clock.serve_timestamp()
+
+    def test_untaint_before_frequency_rejected(self, clock):
+        with pytest.raises(CalibrationError):
+            clock.untaint_with_reference(100)
+
+    def test_invalid_frequency_rejected(self, clock):
+        with pytest.raises(CalibrationError):
+            clock.set_frequency(0)
+
+    def test_starts_tainted(self, clock):
+        assert clock.tainted
+
+
+class TestTimeKeeping:
+    def test_tracks_reference_with_exact_calibration(self, sim, clock):
+        calibrated(clock)
+        sim.run(until=units.SECOND)
+        assert clock.now_unchecked() == units.SECOND
+        assert clock.drift_ns() == 0
+
+    def test_miscalibrated_frequency_drifts(self, sim, clock):
+        clock.set_frequency(900_000_000.0)  # underestimate by 10%
+        clock.untaint_with_reference(0)
+        sim.run(until=units.SECOND)
+        # Clock believes 1e9 ticks = 1/0.9 s: runs fast.
+        assert clock.drift_ns() == pytest.approx(units.SECOND / 9, rel=1e-6)
+
+    def test_frequency_change_preserves_accumulated_time(self, sim, clock):
+        calibrated(clock)
+        sim.run(until=units.SECOND)
+        before = clock.now_unchecked()
+        clock.set_frequency(2_000_000_000.0)
+        assert clock.now_unchecked() == pytest.approx(before, abs=2)
+
+
+class TestTaintLifecycle:
+    def test_taint_blocks_serving_not_reading(self, sim, clock):
+        calibrated(clock)
+        clock.taint()
+        with pytest.raises(CalibrationError):
+            clock.serve_timestamp()
+        assert clock.now_unchecked() >= 0  # analysis read still works
+
+    def test_untaint_with_higher_reference_adopts_it(self, sim, clock):
+        calibrated(clock)
+        sim.run(until=units.SECOND)
+        clock.taint()
+        new_now = clock.untaint_with_reference(5 * units.SECOND)
+        assert new_now == 5 * units.SECOND
+        assert not clock.tainted
+
+    def test_untaint_with_lower_reference_bumps_minimally(self, sim, clock):
+        """The never-go-back rule: a stale reference cannot rewind the clock."""
+        calibrated(clock)
+        sim.run(until=units.SECOND)
+        local = clock.now_unchecked()
+        clock.taint()
+        new_now = clock.untaint_with_reference(local - units.MILLISECOND)
+        assert new_now == local + clock.min_increment_ns
+
+    def test_untaint_in_place_keeps_clock_value(self, sim, clock):
+        calibrated(clock)
+        sim.run(until=units.SECOND)
+        before = clock.now_unchecked()
+        clock.taint()
+        assert clock.untaint_in_place() == pytest.approx(before, abs=2)
+        assert not clock.tainted
+
+    def test_rewrites_logged(self, sim, clock):
+        calibrated(clock)
+        clock.taint()
+        clock.untaint_with_reference(units.SECOND)
+        assert len(clock.reference_rewrites) == 2  # initial + this one
+
+
+class TestSetReference:
+    def test_backward_step_allowed(self, sim, clock):
+        """The hardened protocol may slew the internal reference backwards."""
+        calibrated(clock)
+        sim.run(until=units.SECOND)
+        clock.set_reference(units.MILLISECOND)
+        assert clock.now_unchecked() == units.MILLISECOND
+
+    def test_served_timestamps_stay_monotonic_across_backward_step(self, sim, clock):
+        calibrated(clock)
+        sim.run(until=units.SECOND)
+        first = clock.serve_timestamp()
+        clock.set_reference(0)
+        second = clock.serve_timestamp()
+        assert second > first
+
+    def test_requires_frequency(self, clock):
+        with pytest.raises(CalibrationError):
+            clock.set_reference(5)
+
+
+class TestServeMonotonicity:
+    def test_strictly_increasing_timestamps(self, sim, clock):
+        calibrated(clock)
+        served = []
+        for _ in range(5):
+            served.append(clock.serve_timestamp())
+            sim.run(until=sim.now + 100)
+        assert all(b > a for a, b in zip(served, served[1:]))
+
+    def test_same_instant_serves_bump(self, sim, clock):
+        calibrated(clock)
+        first = clock.serve_timestamp()
+        second = clock.serve_timestamp()
+        assert second == first + clock.min_increment_ns
+
+    def test_min_increment_validation(self, sim, tsc):
+        with pytest.raises(CalibrationError):
+            TrustedClock(sim, tsc, min_increment_ns=0)

@@ -1,0 +1,176 @@
+"""Tests for cluster wiring and configuration validation."""
+
+import pytest
+
+from repro.core.cluster import ClusterConfig, TA_NAME, TriadCluster, node_name
+from repro.core.node import TriadNodeConfig
+from repro.errors import ConfigurationError
+from repro.sim import Simulator, units
+
+from tests.core.conftest import fast_node_config
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=30)
+
+
+class TestConstruction:
+    def test_default_three_node_cluster(self, sim):
+        cluster = TriadCluster(sim)
+        assert cluster.node_names == ["node-1", "node-2", "node-3"]
+        assert cluster.monitoring_cores == [0, 1, 2]
+        assert cluster.ta.name == TA_NAME
+
+    def test_node_indexing_is_one_based(self, sim):
+        cluster = TriadCluster(sim)
+        assert cluster.node(1).name == "node-1"
+        with pytest.raises(ConfigurationError):
+            cluster.node(0)
+        with pytest.raises(ConfigurationError):
+            cluster.node(4)
+
+    def test_node_name_helper(self):
+        assert node_name(3) == "node-3"
+
+    def test_shared_machine_and_tsc(self, sim):
+        cluster = TriadCluster(sim)
+        tscs = {id(node.machine.tsc) for node in cluster.nodes}
+        assert len(tscs) == 1
+
+    def test_full_mesh_peering(self, sim):
+        cluster = TriadCluster(sim)
+        for node in cluster.nodes:
+            assert set(node.peer_names) == {
+                name for name in cluster.node_names if name != node.name
+            }
+            assert TA_NAME in node.endpoint.peer_names
+
+    def test_custom_node_count(self, sim):
+        cluster = TriadCluster(sim, ClusterConfig(node_count=5))
+        assert len(cluster.nodes) == 5
+
+    def test_monitoring_cores_configurable(self, sim):
+        config = ClusterConfig(monitoring_cores=[10, 20, 30])
+        cluster = TriadCluster(sim, config)
+        assert cluster.monitoring_cores == [10, 20, 30]
+        assert cluster.machine.core(10).isolated
+
+
+class TestValidation:
+    def test_zero_nodes_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            TriadCluster(sim, ClusterConfig(node_count=0))
+
+    def test_core_count_mismatch_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            TriadCluster(sim, ClusterConfig(node_count=3, monitoring_cores=[0, 1]))
+
+    def test_duplicate_cores_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            TriadCluster(sim, ClusterConfig(node_count=2, monitoring_cores=[1, 1]))
+
+
+class TestPerNodeConfiguration:
+    def test_per_node_configs_apply(self, sim):
+        special = fast_node_config(calibration_rounds=7)
+        config = ClusterConfig(
+            node_configs=[None, special, None],
+            node_config=fast_node_config(),
+        )
+        cluster = TriadCluster(sim, config)
+        assert cluster.node(2).config.calibration_rounds == 7
+        assert cluster.node(1).config.calibration_rounds == 1
+
+    def test_per_node_calibrators_apply(self, sim):
+        from repro.core.calibration import MeanOnlyCalibrator, RegressionCalibrator
+
+        config = ClusterConfig(calibrators=[None, MeanOnlyCalibrator(), None])
+        cluster = TriadCluster(sim, config)
+        assert isinstance(cluster.node(2).calibrator, MeanOnlyCalibrator)
+        assert isinstance(cluster.node(1).calibrator, RegressionCalibrator)
+
+    def test_single_node_cluster_falls_back_to_ta_only(self):
+        """A one-node cluster has no peers: every AEX costs a TA roundtrip."""
+        sim = Simulator(seed=31)
+        from repro.net.delays import ConstantDelay
+
+        config = ClusterConfig(
+            node_count=1,
+            delay_model=ConstantDelay(100 * units.MICROSECOND),
+            node_config=fast_node_config(),
+        )
+        cluster = TriadCluster(sim, config)
+        sim.run(until=5 * units.SECOND)
+        node = cluster.node(1)
+        cluster.monitoring_port(1).fire("solo-aex")
+        sim.run(until=10 * units.SECOND)
+        assert node.stats.peer_untaints == 0
+        assert node.stats.ta_references == 2
+
+
+class TestSeparateMachines:
+    def make_heterogeneous(self, seed=32):
+        from repro.net.delays import ConstantDelay
+
+        sim = Simulator(seed=seed)
+        config = ClusterConfig(
+            separate_machines=True,
+            tsc_frequencies_hz=[2_899_999_000.0, 3_000_000_000.0, 2_500_000_000.0],
+            core_count=4,
+            delay_model=ConstantDelay(100 * units.MICROSECOND),
+            node_config=fast_node_config(),
+        )
+        return sim, TriadCluster(sim, config)
+
+    def test_one_machine_per_node(self):
+        sim, cluster = self.make_heterogeneous()
+        machines = {id(machine) for machine in cluster.node_machines}
+        assert len(machines) == 3
+        assert cluster.machine is None
+
+    def test_each_node_calibrates_its_own_frequency(self):
+        sim, cluster = self.make_heterogeneous()
+        sim.run(until=10 * units.SECOND)
+        for index, expected_mhz in ((1, 2899.999), (2, 3000.0), (3, 2500.0)):
+            node = cluster.node(index)
+            assert node.stats.latest_frequency_hz / 1e6 == pytest.approx(
+                expected_mhz, rel=1e-6
+            )
+            assert abs(node.drift_ns()) < units.MILLISECOND
+
+    def test_heterogeneous_peer_untaint_works(self):
+        sim, cluster = self.make_heterogeneous()
+        sim.run(until=10 * units.SECOND)
+        cluster.monitoring_port(2).fire("solo-aex")
+        sim.run(until=12 * units.SECOND)
+        node = cluster.node(2)
+        assert node.stats.peer_untaints == 1
+        assert abs(node.drift_ns()) < units.MILLISECOND
+
+    def test_default_cores_may_repeat_across_machines(self):
+        from repro.net.delays import ConstantDelay
+
+        sim = Simulator(seed=33)
+        config = ClusterConfig(
+            separate_machines=True,
+            core_count=2,
+            delay_model=ConstantDelay(100 * units.MICROSECOND),
+            node_config=fast_node_config(),
+        )
+        cluster = TriadCluster(sim, config)
+        assert cluster.monitoring_cores == [0, 0, 0]
+
+    def test_frequency_list_validated(self):
+        with pytest.raises(ConfigurationError):
+            TriadCluster(
+                Simulator(seed=34),
+                ClusterConfig(separate_machines=True, tsc_frequencies_hz=[1e9]),
+            )
+
+    def test_per_node_frequencies_require_separate_machines(self):
+        with pytest.raises(ConfigurationError):
+            TriadCluster(
+                Simulator(seed=35),
+                ClusterConfig(tsc_frequencies_hz=[1e9, 1e9, 1e9]),
+            )

@@ -1,0 +1,92 @@
+"""Tests for node states and the state timeline / availability accounting."""
+
+import pytest
+
+from repro.core.states import NodeState, StateTimeline
+
+
+class TestNodeState:
+    def test_only_ok_is_available(self):
+        assert NodeState.OK.available
+        assert not NodeState.TAINTED.available
+        assert not NodeState.REF_CALIB.available
+        assert not NodeState.FULL_CALIB.available
+
+    def test_display_values_match_paper(self):
+        assert NodeState.FULL_CALIB.value == "FullCalib"
+        assert NodeState.REF_CALIB.value == "RefCalib"
+        assert NodeState.TAINTED.value == "Tainted"
+        assert NodeState.OK.value == "OK"
+
+
+class TestTimelineRecording:
+    def test_initial_state(self):
+        timeline = StateTimeline(0, NodeState.FULL_CALIB)
+        assert timeline.current is NodeState.FULL_CALIB
+
+    def test_records_transitions(self):
+        timeline = StateTimeline(0, NodeState.FULL_CALIB)
+        timeline.record(100, NodeState.OK)
+        timeline.record(200, NodeState.TAINTED)
+        assert timeline.current is NodeState.TAINTED
+        assert len(timeline.changes) == 3
+
+    def test_same_state_not_duplicated(self):
+        timeline = StateTimeline(0, NodeState.OK)
+        timeline.record(100, NodeState.OK)
+        assert len(timeline.changes) == 1
+
+    def test_time_travel_rejected(self):
+        timeline = StateTimeline(100, NodeState.OK)
+        with pytest.raises(ValueError):
+            timeline.record(50, NodeState.TAINTED)
+
+    def test_state_at(self):
+        timeline = StateTimeline(0, NodeState.FULL_CALIB)
+        timeline.record(100, NodeState.OK)
+        timeline.record(200, NodeState.TAINTED)
+        assert timeline.state_at(50) is NodeState.FULL_CALIB
+        assert timeline.state_at(100) is NodeState.OK
+        assert timeline.state_at(150) is NodeState.OK
+        assert timeline.state_at(999) is NodeState.TAINTED
+
+
+class TestDurations:
+    def make_timeline(self):
+        timeline = StateTimeline(0, NodeState.FULL_CALIB)
+        timeline.record(100, NodeState.OK)       # FullCalib: 100
+        timeline.record(300, NodeState.TAINTED)  # OK: 200
+        timeline.record(320, NodeState.OK)       # Tainted: 20
+        return timeline
+
+    def test_time_in_state(self):
+        timeline = self.make_timeline()
+        assert timeline.time_in_state(NodeState.FULL_CALIB, 1000) == 100
+        assert timeline.time_in_state(NodeState.TAINTED, 1000) == 20
+        assert timeline.time_in_state(NodeState.OK, 1000) == 880
+
+    def test_availability(self):
+        timeline = self.make_timeline()
+        assert timeline.availability(1000) == pytest.approx(0.88)
+
+    def test_availability_excludes_time_after_horizon(self):
+        timeline = self.make_timeline()
+        assert timeline.availability(320) == pytest.approx(200 / 320)
+
+    def test_availability_needs_positive_span(self):
+        timeline = StateTimeline(100, NodeState.OK)
+        with pytest.raises(ValueError):
+            timeline.availability(100)
+
+    def test_count_stays(self):
+        timeline = self.make_timeline()
+        assert timeline.count_stays(NodeState.OK) == 2
+        assert timeline.count_stays(NodeState.FULL_CALIB) == 1
+
+    def test_segments_cover_horizon(self):
+        timeline = self.make_timeline()
+        segments = timeline.segments(1000)
+        assert segments[0] == (0, 100, NodeState.FULL_CALIB)
+        assert segments[-1] == (320, 1000, NodeState.OK)
+        total = sum(end - start for start, end, _ in segments)
+        assert total == 1000

@@ -1,0 +1,123 @@
+"""Tests for the peer-untaint policy — the attack-propagation vector."""
+
+import pytest
+
+from repro.core.clock import TrustedClock
+from repro.core.untaint import (
+    apply_authority_untaint,
+    apply_peer_untaint,
+    select_peer_timestamp,
+)
+from repro.hardware.tsc import TimestampCounter
+from repro.messages import PeerTimeResponse
+from repro.sim import Simulator, units
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=11)
+
+
+@pytest.fixture
+def clock(sim):
+    tsc = TimestampCounter(sim, frequency_hz=1_000_000_000)
+    clock = TrustedClock(sim, tsc)
+    clock.set_frequency(1_000_000_000.0)
+    clock.untaint_with_reference(0)
+    return clock
+
+
+def response(timestamp_ns, request_id=1):
+    return PeerTimeResponse(request_id=request_id, timestamp_ns=timestamp_ns)
+
+
+class TestSelection:
+    def test_maximum_timestamp_wins(self):
+        responses = [
+            ("node-1", response(100)),
+            ("node-3", response(999)),
+            ("node-2", response(500)),
+        ]
+        name, timestamp = select_peer_timestamp(responses)
+        assert name == "node-3"
+        assert timestamp == 999
+
+    def test_single_response(self):
+        assert select_peer_timestamp([("n", response(42))]) == ("n", 42)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            select_peer_timestamp([])
+
+    def test_first_of_equal_timestamps_wins(self):
+        responses = [("a", response(100)), ("b", response(100))]
+        assert select_peer_timestamp(responses)[0] == "a"
+
+
+class TestPeerPolicy:
+    def test_higher_peer_timestamp_adopted(self, sim, clock):
+        sim.run(until=units.SECOND)
+        clock.taint()
+        ahead = clock.now_unchecked() + 50 * units.MILLISECOND
+        outcome = apply_peer_untaint(clock, [("fast-peer", response(ahead))], sim.now)
+        assert outcome.jumped_forward
+        assert outcome.jump_ns == 50 * units.MILLISECOND
+        assert outcome.source == "peer:fast-peer"
+        assert clock.now_unchecked() == ahead
+
+    def test_lower_peer_timestamp_only_bumps(self, sim, clock):
+        sim.run(until=units.SECOND)
+        clock.taint()
+        local = clock.now_unchecked()
+        outcome = apply_peer_untaint(
+            clock, [("slow-peer", response(local - units.MILLISECOND))], sim.now
+        )
+        assert not outcome.jumped_forward
+        assert outcome.jump_ns == 0
+        assert clock.now_unchecked() == local + clock.min_increment_ns
+
+    def test_fastest_of_many_peers_wins(self, sim, clock):
+        """The cluster follows its fastest clock — §III-D's observation."""
+        sim.run(until=units.SECOND)
+        clock.taint()
+        local = clock.now_unchecked()
+        responses = [
+            ("honest-1", response(local - 1000)),
+            ("infected", response(local + units.SECOND)),
+            ("honest-2", response(local + 1000)),
+        ]
+        outcome = apply_peer_untaint(clock, responses, sim.now)
+        assert outcome.source == "peer:infected"
+        assert clock.now_unchecked() == local + units.SECOND
+
+    def test_untaint_clears_taint(self, sim, clock):
+        clock.taint()
+        apply_peer_untaint(clock, [("p", response(10))], sim.now)
+        assert not clock.tainted
+
+
+class TestAuthorityPolicy:
+    def test_authority_reference_adopted_forward(self, sim, clock):
+        sim.run(until=units.SECOND)
+        clock.taint()
+        ref = clock.now_unchecked() + units.MILLISECOND
+        outcome = apply_authority_untaint(clock, ref, sim.now)
+        assert outcome.source == "authority"
+        assert clock.now_unchecked() == ref
+
+    def test_authority_reference_adopted_backward(self, sim, clock):
+        """Unlike peers, the TA can rewind the internal clock — this is
+        what resets accumulated drift to zero in the paper's Fig. 2a."""
+        sim.run(until=units.SECOND)
+        clock.taint()
+        ref = clock.now_unchecked() - 40 * units.MILLISECOND
+        apply_authority_untaint(clock, ref, sim.now)
+        assert clock.now_unchecked() == ref
+        assert not clock.tainted
+
+    def test_served_monotonicity_survives_backward_authority_step(self, sim, clock):
+        sim.run(until=units.SECOND)
+        first = clock.serve_timestamp()
+        clock.taint()
+        apply_authority_untaint(clock, first - units.MILLISECOND, sim.now)
+        assert clock.serve_timestamp() > first

@@ -1,0 +1,86 @@
+"""Tests for scenario builders (wiring correctness; short runs only)."""
+
+import pytest
+
+from repro.attacks.delay import AttackMode
+from repro.errors import ConfigurationError
+from repro.experiments import scenarios
+from repro.hardened.node import HardenedTriadNode
+from repro.sim import units
+
+
+class TestBuildExperiment:
+    def test_environments_must_cover_all_nodes(self):
+        with pytest.raises(ConfigurationError):
+            scenarios.build_experiment(
+                "bad",
+                seed=1,
+                environments={1: scenarios.AexEnvironment.TRIAD_LIKE},
+            )
+
+    def test_triad_like_nodes_get_sources(self):
+        experiment = scenarios.build_experiment(
+            "mixed",
+            seed=1,
+            environments={
+                1: scenarios.AexEnvironment.TRIAD_LIKE,
+                2: scenarios.AexEnvironment.LOW_AEX,
+                3: scenarios.AexEnvironment.LOW_AEX,
+            },
+        )
+        machine = experiment.cluster.machine
+        assert set(machine.aex_sources) == {experiment.cluster.monitoring_cores[0]}
+        assert machine.machine_wide_interrupts is not None
+
+    def test_machine_wide_can_be_disabled(self):
+        experiment = scenarios.build_experiment(
+            "quiet",
+            seed=1,
+            environments={i: scenarios.AexEnvironment.LOW_AEX for i in (1, 2, 3)},
+            machine_wide_mean_ns=None,
+        )
+        assert experiment.cluster.machine.machine_wide_interrupts is None
+
+
+class TestAttackScenarios:
+    def test_fplus_attacker_attached_to_node3(self):
+        experiment = scenarios.fplus_low_aex(seed=2)
+        assert len(experiment.attackers) == 1
+        attacker = experiment.attackers[0]
+        assert attacker.mode is AttackMode.F_PLUS
+        assert attacker.victim_host == "node-3"
+
+    def test_fminus_honest_sources_paused_until_switch(self):
+        experiment = scenarios.fminus_propagation(seed=2, switch_at_ns=3 * units.SECOND)
+        cores = experiment.cluster.monitoring_cores
+        machine = experiment.cluster.machine
+        assert not machine.aex_sources[cores[0]].enabled
+        assert not machine.aex_sources[cores[1]].enabled
+        assert machine.aex_sources[cores[2]].enabled
+        experiment.run(5 * units.SECOND)
+        assert machine.aex_sources[cores[0]].enabled
+        assert machine.aex_sources[cores[1]].enabled
+
+    def test_hardened_scenario_uses_hardened_nodes(self):
+        experiment = scenarios.hardened_fminus_propagation(seed=2)
+        assert all(isinstance(node, HardenedTriadNode) for node in experiment.cluster.nodes)
+
+
+class TestExperimentRunner:
+    def test_run_and_accessors(self):
+        experiment = scenarios.fault_free_triad_like(seed=3)
+        experiment.run(20 * units.SECOND)
+        assert experiment.duration_ns == 20 * units.SECOND
+        assert experiment.frequency_mhz(1) == pytest.approx(2900, rel=0.01)
+        assert 0 < experiment.availability(1) <= 1
+        assert experiment.drift(1).samples
+
+    def test_accessors_before_run_fail(self):
+        experiment = scenarios.fault_free_triad_like(seed=4)
+        with pytest.raises(ConfigurationError):
+            experiment.availability(1)
+
+    def test_zero_duration_rejected(self):
+        experiment = scenarios.fault_free_triad_like(seed=5)
+        with pytest.raises(ConfigurationError):
+            experiment.run(0)

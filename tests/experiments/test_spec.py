@@ -1,0 +1,136 @@
+"""Tests for declarative experiment specifications."""
+
+import pytest
+
+from repro.attacks.delay import CalibrationDelayAttacker
+from repro.errors import ConfigurationError
+from repro.experiments.spec import ExperimentSpec
+from repro.hardened.node import HardenedTriadNode
+from repro.sim import units
+
+
+def minimal_spec(**overrides):
+    raw = {
+        "name": "test-spec",
+        "seed": 900,
+        "duration_s": 30,
+        "nodes": 3,
+        "environments": {"1": "triad-like", "2": "triad-like", "3": "triad-like"},
+        "machine_wide_mean_s": None,
+    }
+    raw.update(overrides)
+    return ExperimentSpec.from_dict(raw)
+
+
+class TestValidation:
+    def test_minimal_spec_valid(self):
+        spec = minimal_spec()
+        assert spec.protocol == "original"
+        assert spec.duration_ns == 30 * units.SECOND
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown spec keys"):
+            ExperimentSpec.from_dict({"name": "x", "sneed": 1})
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            minimal_spec(protocol="quantum")
+
+    def test_unknown_environment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            minimal_spec(environments={"1": "zero-gravity"})
+
+    def test_environment_for_unknown_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            minimal_spec(environments={"7": "triad-like"})
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown attack type"):
+            minimal_spec(attacks=[{"type": "teleport"}])
+
+    def test_attack_missing_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing keys"):
+            minimal_spec(attacks=[{"type": "fminus"}])
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            ExperimentSpec.from_json("{nope")
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec.from_json("[1, 2]")
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        spec = minimal_spec(
+            protocol="hardened",
+            attacks=[{"type": "fminus", "victim": 3, "delay_ms": 50}],
+        )
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(minimal_spec().to_json())
+        assert ExperimentSpec.load(path).name == "test-spec"
+
+
+class TestExecution:
+    def test_fault_free_spec_runs(self):
+        experiment = minimal_spec().run()
+        assert experiment.duration_ns == 30 * units.SECOND
+        for index in (1, 2, 3):
+            assert experiment.node(index).clock.calibrated
+
+    def test_hardened_protocol_selected(self):
+        spec = minimal_spec(protocol="hardened", duration_s=10)
+        experiment = spec.run()
+        assert all(isinstance(node, HardenedTriadNode) for node in experiment.cluster.nodes)
+
+    def test_fminus_attack_applied(self):
+        spec = minimal_spec(
+            duration_s=60,
+            attacks=[{"type": "fminus", "victim": 3, "delay_ms": 100}],
+        )
+        experiment = spec.run()
+        assert len(experiment.attackers) == 1
+        assert isinstance(experiment.attackers[0], CalibrationDelayAttacker)
+        skew = (
+            experiment.node(3).stats.latest_frequency_hz
+            / experiment.cluster.machine.tsc.frequency_hz
+        )
+        assert skew == pytest.approx(0.9, rel=1e-2)
+
+    def test_aex_onset_attack_applied(self):
+        spec = minimal_spec(
+            duration_s=40,
+            attacks=[{"type": "aex-onset", "nodes": [1, 2], "at_s": 20}],
+        )
+        experiment = spec.run()
+        # Nodes 1, 2 had no AEXs before t=20s; node 3 throughout.
+        for index in (1, 2):
+            times = experiment.node(index).stats.aex_times_ns
+            assert all(t >= 20 * units.SECOND for t in times)
+        assert any(
+            t < 20 * units.SECOND for t in experiment.node(3).stats.aex_times_ns
+        )
+
+    def test_aex_onset_requires_triad_like_environment(self):
+        spec = minimal_spec(
+            environments={"1": "low-aex", "2": "triad-like", "3": "triad-like"},
+            attacks=[{"type": "aex-onset", "nodes": [1], "at_s": 5}],
+        )
+        with pytest.raises(ConfigurationError, match="no AEX source"):
+            spec.build()
+
+    def test_ta_blackhole_spec(self):
+        spec = minimal_spec(
+            duration_s=30,
+            attacks=[{"type": "ta-blackhole", "start_s": 5, "stop_s": 10}],
+        )
+        experiment = spec.run()
+        assert experiment.attackers
+
+    def test_multi_ta_spec(self):
+        spec = minimal_spec(ta_count=3, duration_s=10)
+        experiment = spec.build()
+        assert len(experiment.cluster.tas) == 3

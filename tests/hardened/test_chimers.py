@@ -1,0 +1,108 @@
+"""Tests for Marzullo's algorithm and true-chimer selection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardened.chimers import ClockReading, majority_chimers, marzullo
+
+
+def reading(source, timestamp, error=10):
+    return ClockReading(source=source, timestamp_ns=timestamp, error_bound_ns=error)
+
+
+class TestClockReading:
+    def test_interval_bounds(self):
+        r = reading("a", 100, error=10)
+        assert r.low_ns == 90
+        assert r.high_ns == 110
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reading("a", 100, error=-1)
+
+
+class TestMarzullo:
+    def test_single_reading(self):
+        result = marzullo([reading("a", 100, 10)])
+        assert result.count == 1
+        assert result.chimers == ("a",)
+        assert result.low_ns == 90
+        assert result.high_ns == 110
+
+    def test_all_overlapping(self):
+        result = marzullo([reading("a", 100, 10), reading("b", 105, 10), reading("c", 95, 10)])
+        assert result.count == 3
+        assert set(result.chimers) == {"a", "b", "c"}
+        # Intersection of [90,110], [95,115], [85,105] = [95,105].
+        assert result.low_ns == 95
+        assert result.high_ns == 105
+        assert result.midpoint_ns == 100
+
+    def test_outlier_excluded(self):
+        """An F−-infected clock racing ahead is not a true-chimer."""
+        result = marzullo(
+            [
+                reading("honest-1", 100, 10),
+                reading("honest-2", 103, 10),
+                reading("infected", 10_000, 10),
+            ]
+        )
+        assert result.count == 2
+        assert set(result.chimers) == {"honest-1", "honest-2"}
+
+    def test_two_disjoint_pairs_earliest_wins(self):
+        result = marzullo(
+            [reading("a", 100, 5), reading("b", 102, 5), reading("c", 500, 5), reading("d", 502, 5)]
+        )
+        assert result.count == 2
+        assert set(result.chimers) == {"a", "b"}
+
+    def test_touching_intervals_count_as_overlapping(self):
+        result = marzullo([reading("a", 100, 10), reading("b", 120, 10)])
+        assert result.count == 2  # [90,110] and [110,130] touch at 110
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            marzullo([])
+
+    def test_contains(self):
+        result = marzullo([reading("a", 100, 10), reading("b", 105, 10)])
+        assert result.contains(reading("x", 100, 1))
+        assert not result.contains(reading("y", 500, 1))
+
+    def test_nested_intervals(self):
+        result = marzullo([reading("wide", 100, 100), reading("narrow", 100, 1)])
+        assert result.count == 2
+        assert result.low_ns == 99
+        assert result.high_ns == 101
+
+
+class TestMajorityChimers:
+    def test_majority_found(self):
+        readings = [reading("a", 100), reading("b", 102), reading("c", 9000)]
+        result = majority_chimers(readings, total_clocks=3)
+        assert result is not None
+        assert set(result.chimers) == {"a", "b"}
+
+    def test_no_majority_returns_none(self):
+        """Two clocks far apart out of three: 1 is not a majority of 3."""
+        readings = [reading("a", 100), reading("b", 9000)]
+        result = majority_chimers(readings, total_clocks=3)
+        assert result is None
+
+    def test_exact_half_is_not_majority(self):
+        readings = [reading("a", 100), reading("b", 102)]
+        assert majority_chimers(readings, total_clocks=4) is None
+
+    def test_empty_readings(self):
+        assert majority_chimers([], total_clocks=3) is None
+
+    def test_invalid_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            majority_chimers([reading("a", 1)], total_clocks=0)
+
+    def test_counts_against_cluster_size_not_respondents(self):
+        """Two agreeing readings out of a 5-clock cluster: no majority."""
+        readings = [reading("a", 100), reading("b", 101)]
+        assert majority_chimers(readings, total_clocks=5) is None
+        assert majority_chimers(readings, total_clocks=3) is not None

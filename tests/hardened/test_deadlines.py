@@ -1,0 +1,77 @@
+"""Tests for TSC-driven deadline timers (the in-TCB refresh trigger)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardened.deadlines import TscDeadlineTimer
+from repro.hardware.tsc import TimestampCounter
+from repro.sim import Simulator, units
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=80)
+
+
+@pytest.fixture
+def tsc(sim):
+    return TimestampCounter(sim, frequency_hz=1_000_000_000)  # 1 tick/ns
+
+
+class TestFiring:
+    def test_fires_every_interval(self, sim, tsc):
+        fire_times = []
+        TscDeadlineTimer(
+            sim, tsc, interval_ticks=1_000_000_000, callback=lambda: fire_times.append(sim.now)
+        )
+        sim.run(until=units.seconds(3.5))
+        assert fire_times == [units.SECOND, 2 * units.SECOND, 3 * units.SECOND]
+
+    def test_invalid_interval_rejected(self, sim, tsc):
+        with pytest.raises(ConfigurationError):
+            TscDeadlineTimer(sim, tsc, interval_ticks=0, callback=lambda: None)
+
+    def test_fire_count_tracked(self, sim, tsc):
+        timer = TscDeadlineTimer(sim, tsc, interval_ticks=500_000_000, callback=lambda: None)
+        sim.run(until=units.seconds(2.4))
+        assert timer.fire_count == 4
+
+
+class TestAttackerResistance:
+    def test_tsc_slowdown_delays_but_does_not_silence(self, sim, tsc):
+        """Scaling the TSC down stretches deadlines in real time, but the
+        timer keeps firing — the attacker cannot remove the trigger."""
+        fire_times = []
+        TscDeadlineTimer(
+            sim, tsc, interval_ticks=1_000_000_000, callback=lambda: fire_times.append(sim.now)
+        )
+        tsc.set_scale(0.5)
+        sim.run(until=units.seconds(4.5))
+        assert fire_times == [2 * units.SECOND, 4 * units.SECOND]
+
+    def test_tsc_speedup_fires_early(self, sim, tsc):
+        fire_times = []
+        TscDeadlineTimer(
+            sim, tsc, interval_ticks=1_000_000_000, callback=lambda: fire_times.append(sim.now)
+        )
+        tsc.set_scale(2.0)
+        sim.run(until=units.seconds(2.2))
+        assert fire_times == [units.SECOND // 2, units.SECOND, units.seconds(1.5), 2 * units.SECOND]
+
+    def test_forward_jump_accelerates_next_deadline_only(self, sim, tsc):
+        fire_times = []
+        TscDeadlineTimer(
+            sim, tsc, interval_ticks=1_000_000_000, callback=lambda: fire_times.append(sim.now)
+        )
+
+        def jumper():
+            yield sim.timeout(units.milliseconds(100))
+            tsc.apply_offset(900_000_000)  # 0.9 s worth of ticks
+
+        sim.process(jumper())
+        sim.run(until=units.seconds(2.5))
+        # First deadline observed at the next TSC re-check after the jump
+        # (chunk granularity: interval/8 = 125 ms); the following one a
+        # full interval of ticks later (reached at real t ≈ 1.125 s).
+        assert fire_times[0] == units.milliseconds(125)
+        assert fire_times[1] == pytest.approx(units.milliseconds(1125), rel=0.01)

@@ -1,0 +1,179 @@
+"""Tests for the hardened Triad node: discipline, chimer filtering, bounds."""
+
+import pytest
+
+from repro.attacks.delay import AttackMode, CalibrationDelayAttacker
+from repro.core.cluster import ClusterConfig, TA_NAME, TriadCluster
+from repro.core.states import NodeState
+from repro.hardened.node import HardenedNodeConfig, HardenedTriadNode
+from repro.hardware.tsc import PAPER_TSC_FREQUENCY_HZ
+from repro.net.delays import ConstantDelay
+from repro.sim import Simulator, units
+
+
+def fast_hardened_config(**overrides) -> HardenedNodeConfig:
+    defaults = dict(
+        calibration_rounds=1,
+        calibration_sleeps_ns=(0, 100 * units.MILLISECOND),
+        monitor_calibration_samples=4,
+        monitor_interval_ns=units.SECOND,
+        ta_timeout_margin_ns=200 * units.MILLISECOND,
+        deadline_ticks=int(2 * PAPER_TSC_FREQUENCY_HZ),  # ~2 s
+        discipline_window_samples=3,
+    )
+    defaults.update(overrides)
+    return HardenedNodeConfig(**defaults)
+
+
+def build_hardened_cluster(seed=90, delay_ns=100 * units.MICROSECOND, **overrides):
+    sim = Simulator(seed=seed)
+    config = ClusterConfig(
+        node_class=HardenedTriadNode,
+        node_config=fast_hardened_config(**overrides),
+        delay_model=ConstantDelay(delay_ns),
+    )
+    return sim, TriadCluster(sim, config)
+
+
+class TestBasicOperation:
+    def test_hardened_nodes_calibrate_and_serve(self):
+        sim, cluster = build_hardened_cluster()
+        sim.run(until=5 * units.SECOND)
+        for node in cluster.nodes:
+            assert isinstance(node, HardenedTriadNode)
+            assert node.state is NodeState.OK
+            assert node.get_timestamp() > 0
+
+    def test_discipline_polls_happen_on_deadlines(self):
+        sim, cluster = build_hardened_cluster()
+        sim.run(until=20 * units.SECOND)
+        node = cluster.node(1)
+        assert node.hardened_stats.deadline_fires >= 7
+        assert node.hardened_stats.discipline_polls >= 5
+
+    def test_error_bound_grows_between_syncs(self):
+        sim, cluster = build_hardened_cluster(deadline_ticks=int(60 * PAPER_TSC_FREQUENCY_HZ))
+        sim.run(until=3 * units.SECOND)
+        node = cluster.node(1)
+        early = node.current_error_bound_ns()
+        sim.run(until=13 * units.SECOND)
+        late = node.current_error_bound_ns()
+        assert late > early
+
+    def test_peer_responses_carry_error_bounds(self):
+        sim, cluster = build_hardened_cluster()
+        sim.run(until=5 * units.SECOND)
+        cluster.monitoring_port(1).fire("aex")
+        sim.run(until=6 * units.SECOND)
+        node = cluster.node(1)
+        assert node.stats.peer_untaints == 1
+        # With honest peers the local clock stays a true-chimer.
+        assert node.hardened_stats.untaints_in_place == 1
+
+
+class TestChimersUnderAttack:
+    def _infected_cluster(self, seed=91):
+        sim, cluster = build_hardened_cluster(
+            seed=seed, calibration_sleeps_ns=(0, units.SECOND)
+        )
+        attacker = CalibrationDelayAttacker(
+            sim, victim_host="node-3", ta_host=TA_NAME, mode=AttackMode.F_MINUS
+        )
+        cluster.network.add_adversary(attacker)
+        return sim, cluster
+
+    def test_honest_nodes_reject_infected_readings(self):
+        sim, cluster = self._infected_cluster()
+        sim.run(until=30 * units.SECOND)
+        # Give node 3 time to race ahead, then taint an honest node.
+        cluster.monitoring_port(1).fire("aex")
+        sim.run(until=31 * units.SECOND)
+        node1 = cluster.node(1)
+        assert node1.hardened_stats.peer_readings_rejected >= 1
+        assert abs(node1.drift_ns()) < 50 * units.MILLISECOND
+
+    def test_honest_nodes_never_jump_to_infected_time(self):
+        sim, cluster = self._infected_cluster(seed=92)
+        sim.run(until=20 * units.SECOND)
+        for _ in range(5):
+            cluster.monitoring_port(1).fire("aex")
+            cluster.monitoring_port(2).fire("aex")
+            sim.run(until=sim.now + 2 * units.SECOND)
+        for index in (1, 2):
+            drift = cluster.node(index).drift_ns()
+            assert abs(drift) < 100 * units.MILLISECOND, (
+                f"node-{index} drifted {drift / 1e6:.1f} ms: infection happened"
+            )
+
+    def test_infected_node_pulled_back_by_clique(self):
+        # Node 3's own discipline is slowed (rare deadlines) so its F−
+        # miscalibration actually accumulates before the clique acts.
+        sim = Simulator(seed=93)
+        config = ClusterConfig(
+            node_class=HardenedTriadNode,
+            node_config=fast_hardened_config(calibration_sleeps_ns=(0, units.SECOND)),
+            node_configs=[
+                None,
+                None,
+                fast_hardened_config(
+                    calibration_sleeps_ns=(0, units.SECOND),
+                    deadline_ticks=int(600 * PAPER_TSC_FREQUENCY_HZ),
+                ),
+            ],
+            delay_model=ConstantDelay(100 * units.MICROSECOND),
+        )
+        cluster = TriadCluster(sim, config)
+        attacker = CalibrationDelayAttacker(
+            sim, victim_host="node-3", ta_host=TA_NAME, mode=AttackMode.F_MINUS
+        )
+        cluster.network.add_adversary(attacker)
+        sim.run(until=20 * units.SECOND)
+        node3 = cluster.node(3)
+        assert node3.drift_ns() > units.SECOND  # miscalibrated, racing ahead
+        cluster.monitoring_port(3).fire("aex")
+        sim.run(until=21 * units.SECOND)
+        # The clique (node-1, node-2) outvotes node-3's own clock. Its
+        # still-miscalibrated F re-accumulates ~111 ms over the following
+        # second, but the multi-second advance is gone.
+        assert node3.hardened_stats.untaints_from_clique >= 1
+        assert abs(node3.drift_ns()) < 300 * units.MILLISECOND
+
+
+class TestDiscipline:
+    def test_frequency_corrected_toward_truth(self):
+        """Start a node with a miscalibrated F; discipline repairs it."""
+        sim, cluster = build_hardened_cluster(seed=94)
+        sim.run(until=3 * units.SECOND)
+        node = cluster.node(1)
+        node.clock.set_frequency(PAPER_TSC_FREQUENCY_HZ * 1.001)  # +1000 ppm
+        sim.run(until=40 * units.SECOND)
+        assert node.hardened_stats.frequency_corrections
+        final_frequency = node.clock.frequency_hz
+        assert abs(final_frequency / PAPER_TSC_FREQUENCY_HZ - 1) < 1e-4
+
+    def test_offset_steps_recorded_when_clock_off(self):
+        sim, cluster = build_hardened_cluster(seed=95)
+        sim.run(until=3 * units.SECOND)
+        node = cluster.node(1)
+        node.clock.set_reference(node.clock.now_unchecked() + 50 * units.MILLISECOND)
+        sim.run(until=30 * units.SECOND)
+        assert node.hardened_stats.offset_steps
+        assert abs(node.drift_ns()) < 5 * units.MILLISECOND
+
+    def test_served_timestamps_monotonic_across_corrections(self):
+        sim, cluster = build_hardened_cluster(seed=96)
+        sim.run(until=3 * units.SECOND)
+        node = cluster.node(1)
+        node.clock.set_reference(node.clock.now_unchecked() + 50 * units.MILLISECOND)
+        served = []
+
+        def poller():
+            while True:
+                yield sim.timeout(100 * units.MILLISECOND)
+                timestamp = node.try_get_timestamp()
+                if timestamp is not None:
+                    served.append(timestamp)
+
+        sim.process(poller())
+        sim.run(until=30 * units.SECOND)
+        assert all(b > a for a, b in zip(served, served[1:]))

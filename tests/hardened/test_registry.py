@@ -1,0 +1,140 @@
+"""Tests for the chimer-publication registry and suspect identification."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardened.registry import ChimerRegistry, ChimerReport
+from repro.sim import Simulator, units
+
+
+@pytest.fixture
+def sim():
+    sim = Simulator(seed=140)
+    sim.timeout(units.HOUR)  # allow running time forward in tests
+    return sim
+
+
+def report(sim, reporter, observed, chimers, ta_ts=None, time_ns=None):
+    return ChimerReport(
+        time_ns=time_ns if time_ns is not None else sim.now,
+        reporter=reporter,
+        observed=tuple(observed),
+        chimers=tuple(chimers),
+        last_ta_timestamp_ns=ta_ts,
+    )
+
+
+class TestPublication:
+    def test_publish_and_read_back(self, sim):
+        registry = ChimerRegistry(sim)
+        registry.publish(report(sim, "node-1", ["node-2"], ["node-1", "node-2"]))
+        assert len(registry.reports) == 1
+
+    def test_future_reports_rejected(self, sim):
+        registry = ChimerRegistry(sim)
+        with pytest.raises(ConfigurationError):
+            registry.publish(report(sim, "node-1", [], [], time_ns=sim.now + 1))
+
+    def test_excluded_computation(self, sim):
+        r = report(sim, "node-1", ["node-2", "node-3"], ["node-1", "node-2"])
+        assert r.excluded() == ("node-3",)
+
+
+class TestSuspectScoring:
+    def test_infected_node_scores_one(self, sim):
+        registry = ChimerRegistry(sim)
+        # Both honest nodes repeatedly observe node-3 as inconsistent.
+        for _ in range(5):
+            registry.publish(
+                report(sim, "node-1", ["node-2", "node-3"], ["node-1", "node-2"])
+            )
+            registry.publish(
+                report(sim, "node-2", ["node-1", "node-3"], ["node-1", "node-2"])
+            )
+        scores = registry.suspect_scores()
+        assert scores["node-3"] == 1.0
+        assert scores["node-1"] == 0.0
+        assert scores["node-2"] == 0.0
+        assert registry.suspects() == ["node-3"]
+
+    def test_self_reports_do_not_count(self, sim):
+        registry = ChimerRegistry(sim)
+        # node-3 tries to frame node-1 and vouch for itself.
+        for _ in range(10):
+            registry.publish(
+                report(sim, "node-3", ["node-1", "node-3"], ["node-3"])
+            )
+        registry.publish(report(sim, "node-1", ["node-2", "node-3"], ["node-1", "node-2"]))
+        registry.publish(report(sim, "node-2", ["node-1", "node-3"], ["node-1", "node-2"]))
+        scores = registry.suspect_scores()
+        # node-1 framed by node-3 ten times, cleared twice by honest nodes:
+        # still above 0 but node-3 (excluded by every honest observation
+        # of it) has the decisive score; a single compromised node cannot
+        # reach majority exclusion of an honest one in a 3-node cluster
+        # with honest reports flowing.
+        assert scores["node-3"] == 1.0
+        assert scores["node-1"] < 1.0
+
+    def test_window_filters_old_reports(self, sim):
+        registry = ChimerRegistry(sim)
+        registry.publish(report(sim, "node-1", ["node-3"], [], time_ns=0))
+        sim.run(until=units.HOUR)
+        registry.publish(
+            report(sim, "node-1", ["node-3"], ["node-1", "node-3"])
+        )
+        full = registry.suspect_scores()
+        recent = registry.suspect_scores(window_ns=units.MINUTE)
+        assert full["node-3"] == 0.5
+        assert recent["node-3"] == 0.0
+
+    def test_threshold_validation(self, sim):
+        registry = ChimerRegistry(sim)
+        with pytest.raises(ConfigurationError):
+            registry.suspects(threshold=1.5)
+
+
+class TestCredibility:
+    def test_highest_ta_timestamp_wins(self, sim):
+        registry = ChimerRegistry(sim)
+        registry.publish(report(sim, "node-1", [], [], ta_ts=1000))
+        registry.publish(report(sim, "node-2", [], [], ta_ts=5000))
+        registry.publish(report(sim, "node-3", [], [], ta_ts=200))  # delayed by attacker
+        assert registry.most_credible_reporter() == "node-2"
+
+    def test_no_ta_timestamps(self, sim):
+        registry = ChimerRegistry(sim)
+        registry.publish(report(sim, "node-1", [], []))
+        assert registry.most_credible_reporter() is None
+
+
+class TestEndToEndIdentification:
+    def test_registry_identifies_fminus_attacker(self):
+        """Full-stack: hardened cluster + F− attacker + registry — the
+        compromised node is identified by suspect scoring."""
+        from repro.attacks.delay import AttackMode, CalibrationDelayAttacker
+        from repro.core.cluster import ClusterConfig, TA_NAME, TriadCluster
+        from repro.hardware.aex import TriadLikeAexDelays
+        from tests.hardened.test_node import fast_hardened_config
+        from repro.hardened.node import HardenedTriadNode
+
+        sim = Simulator(seed=141)
+        config = ClusterConfig(
+            node_class=HardenedTriadNode,
+            node_config=fast_hardened_config(calibration_sleeps_ns=(0, units.SECOND)),
+        )
+        cluster = TriadCluster(sim, config)
+        registry = ChimerRegistry(sim)
+        for node in cluster.nodes:
+            node.registry = registry
+        for core in cluster.monitoring_cores:
+            cluster.machine.add_aex_source(core, TriadLikeAexDelays())
+        attacker = CalibrationDelayAttacker(
+            sim, victim_host="node-3", ta_host=TA_NAME, mode=AttackMode.F_MINUS
+        )
+        cluster.network.add_adversary(attacker)
+        sim.run(until=2 * units.MINUTE)
+        assert registry.suspects(threshold=0.5) == ["node-3"]
+        scores = registry.suspect_scores()
+        assert scores["node-3"] > 0.7
+        assert scores.get("node-1", 0.0) < 0.2
+        assert scores.get("node-2", 0.0) < 0.2

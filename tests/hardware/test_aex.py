@@ -1,0 +1,191 @@
+"""Tests for AEX distributions, ports, sources, and correlated interrupts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.aex import (
+    AexPort,
+    AexSource,
+    ExponentialAexDelays,
+    FixedAexDelays,
+    IsolatedCoreAexDelays,
+    MachineWideInterrupts,
+    TraceAexDelays,
+    TriadLikeAexDelays,
+    TRIAD_LIKE_DELAYS_NS,
+)
+from repro.sim import Simulator, units
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=3)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestTriadLikeDistribution:
+    def test_only_paper_delays_drawn(self, rng):
+        distribution = TriadLikeAexDelays()
+        draws = {distribution.sample(rng) for _ in range(1000)}
+        assert draws == set(TRIAD_LIKE_DELAYS_NS)
+
+    def test_roughly_uniform_thirds(self, rng):
+        distribution = TriadLikeAexDelays()
+        draws = [distribution.sample(rng) for _ in range(9000)]
+        for delay in TRIAD_LIKE_DELAYS_NS:
+            fraction = draws.count(delay) / len(draws)
+            assert 0.30 < fraction < 0.37
+
+    def test_mean_matches_paper_values(self):
+        # (10 + 532 + 1590) / 3 = 710.67 ms
+        assert TriadLikeAexDelays().mean_ns() == pytest.approx(710_666_666.7, rel=1e-6)
+
+    def test_empty_delays_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TriadLikeAexDelays(delays_ns=())
+
+
+class TestIsolatedCoreDistribution:
+    def test_bulk_near_mode(self, rng):
+        distribution = IsolatedCoreAexDelays()
+        draws = [distribution.sample(rng) for _ in range(2000)]
+        near_mode = [d for d in draws if abs(d - distribution.mode_ns) < 30 * units.SECOND]
+        assert len(near_mode) / len(draws) > 0.7
+
+    def test_short_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            IsolatedCoreAexDelays(short_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            IsolatedCoreAexDelays(short_range_ns=(5, 5))
+
+    def test_samples_always_positive(self, rng):
+        distribution = IsolatedCoreAexDelays(spread_ns=units.MINUTE)
+        assert all(distribution.sample(rng) > 0 for _ in range(500))
+
+
+class TestSimpleDistributions:
+    def test_fixed_is_fixed(self, rng):
+        assert FixedAexDelays(42).sample(rng) == 42
+
+    def test_exponential_mean(self, rng):
+        distribution = ExponentialAexDelays(units.SECOND)
+        draws = [distribution.sample(rng) for _ in range(5000)]
+        assert np.mean(draws) == pytest.approx(units.SECOND, rel=0.1)
+
+    def test_trace_replays_and_wraps(self, rng):
+        trace = TraceAexDelays([10, 20, 30])
+        assert [trace.sample(rng) for _ in range(5)] == [10, 20, 30, 10, 20]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedAexDelays(0)
+        with pytest.raises(ConfigurationError):
+            ExponentialAexDelays(-1)
+        with pytest.raises(ConfigurationError):
+            TraceAexDelays([])
+
+
+class TestAexPort:
+    def test_fire_notifies_subscribers(self, sim):
+        port = AexPort(sim, core_index=2)
+        events = []
+        port.subscribe(events.append)
+        port.fire("test")
+        assert len(events) == 1
+        assert events[0].core_index == 2
+        assert events[0].cause == "test"
+
+    def test_unsubscribe(self, sim):
+        port = AexPort(sim, core_index=0)
+        events = []
+        port.subscribe(events.append)
+        port.unsubscribe(events.append)
+        port.fire("test")
+        assert events == []
+
+    def test_history_and_inter_delays(self, sim):
+        port = AexPort(sim, core_index=0)
+
+        def firer():
+            for delay in (100, 250, 50):
+                yield sim.timeout(delay)
+                port.fire("scripted")
+
+        sim.process(firer())
+        sim.run()
+        assert port.count == 3
+        assert port.inter_aex_delays_ns() == [250, 50]
+
+
+class TestAexSource:
+    def test_source_fires_at_distribution_delays(self, sim):
+        port = AexPort(sim, core_index=0)
+        AexSource(sim, port, FixedAexDelays(units.SECOND), rng_name="t")
+        sim.run(until=units.seconds(5.5))
+        assert port.count == 5
+        assert port.inter_aex_delays_ns() == [units.SECOND] * 4
+
+    def test_pause_stops_firing(self, sim):
+        port = AexPort(sim, core_index=0)
+        source = AexSource(sim, port, FixedAexDelays(units.SECOND), rng_name="t")
+        sim.run(until=units.seconds(2.5))
+        source.pause()
+        count_at_pause = port.count
+        sim.run(until=units.seconds(10))
+        assert port.count == count_at_pause
+
+    def test_resume_restarts_firing(self, sim):
+        port = AexPort(sim, core_index=0)
+        source = AexSource(
+            sim, port, FixedAexDelays(units.SECOND), rng_name="t", enabled=False
+        )
+        sim.run(until=units.seconds(3))
+        assert port.count == 0
+        source.resume()
+        sim.run(until=units.seconds(10))
+        assert port.count >= 5
+
+    def test_distribution_switch_applies(self, sim):
+        port = AexPort(sim, core_index=0)
+        source = AexSource(sim, port, FixedAexDelays(units.SECOND), rng_name="t")
+        sim.run(until=units.seconds(3.5))
+        source.set_distribution(FixedAexDelays(units.milliseconds(100)))
+        sim.run(until=units.seconds(5.5))
+        # Old cadence: 3 AEXs in 3.5s; new cadence adds ~>10 more.
+        assert port.count > 10
+
+
+class TestMachineWideInterrupts:
+    def test_fully_correlated_hits_all_ports_simultaneously(self, sim):
+        ports = [AexPort(sim, core_index=i) for i in range(3)]
+        MachineWideInterrupts(
+            sim, ports, FixedAexDelays(units.SECOND), correlation_probability=1.0
+        )
+        sim.run(until=units.seconds(4.5))
+        times = [tuple(e.time_ns for e in port.history) for port in ports]
+        assert times[0] == times[1] == times[2]
+        assert len(times[0]) == 4
+
+    def test_uncorrelated_hits_single_ports(self, sim):
+        ports = [AexPort(sim, core_index=i) for i in range(3)]
+        MachineWideInterrupts(
+            sim, ports, FixedAexDelays(units.milliseconds(100)), correlation_probability=0.0
+        )
+        sim.run(until=units.seconds(10))
+        total = sum(port.count for port in ports)
+        assert total == 100  # one port per firing
+        assert all(port.count > 0 for port in ports)
+
+    def test_invalid_configuration_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            MachineWideInterrupts(sim, [], FixedAexDelays(1))
+        port = AexPort(sim, core_index=0)
+        with pytest.raises(ConfigurationError):
+            MachineWideInterrupts(
+                sim, [port], FixedAexDelays(1), correlation_probability=1.5
+            )

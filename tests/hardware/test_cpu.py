@@ -1,0 +1,78 @@
+"""Tests for CPU core and frequency governor models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cpu import (
+    CpuCore,
+    DEFAULT_PSTATE_TABLE_HZ,
+    FrequencyGovernor,
+    PAPER_CORE_MAX_FREQUENCY_HZ,
+    make_core_set,
+)
+
+
+class TestGovernor:
+    def test_performance_pins_max_pstate(self):
+        governor = FrequencyGovernor(policy="performance")
+        assert governor.frequency_hz == max(DEFAULT_PSTATE_TABLE_HZ)
+        assert governor.frequency_hz == PAPER_CORE_MAX_FREQUENCY_HZ
+
+    def test_powersave_pins_min_pstate(self):
+        governor = FrequencyGovernor(policy="powersave")
+        assert governor.frequency_hz == min(DEFAULT_PSTATE_TABLE_HZ)
+
+    def test_manual_only_accepts_listed_pstates(self):
+        governor = FrequencyGovernor()
+        governor.set_manual(2_400_000_000.0)
+        assert governor.frequency_hz == 2_400_000_000.0
+        with pytest.raises(ConfigurationError):
+            governor.set_manual(2_500_000_000.0)  # not a discrete P-state
+
+    def test_manual_without_selection_raises(self):
+        governor = FrequencyGovernor(policy="manual")
+        with pytest.raises(ConfigurationError):
+            governor.frequency_hz
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyGovernor(policy="turbo")
+
+    def test_empty_pstate_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyGovernor(pstates_hz=())
+
+    def test_table_sorted_on_construction(self):
+        governor = FrequencyGovernor(pstates_hz=(3e9, 1e9, 2e9))
+        assert governor.pstates_hz == (1e9, 2e9, 3e9)
+
+
+class TestCore:
+    def test_cycles_in_duration(self):
+        core = CpuCore(index=0)  # performance: 3.5 GHz
+        assert core.cycles_in(1_000_000_000) == 3_500_000_000
+
+    def test_duration_of_cycles_inverts(self):
+        core = CpuCore(index=0)
+        cycles = 7_000_000
+        assert core.cycles_in(core.duration_of_cycles(cycles)) == pytest.approx(
+            cycles, abs=4
+        )
+
+    def test_default_not_isolated(self):
+        assert not CpuCore(index=0).isolated
+
+
+class TestCoreSet:
+    def test_make_core_set_counts_and_indices(self):
+        cores = make_core_set(4, isolated_indices=[1, 3])
+        assert [core.index for core in cores] == [0, 1, 2, 3]
+        assert [core.isolated for core in cores] == [False, True, False, True]
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_core_set(0)
+
+    def test_out_of_range_isolation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_core_set(2, isolated_indices=[5])

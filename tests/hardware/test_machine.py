@@ -1,0 +1,94 @@
+"""Tests for the machine model and MSR-triggered AEX injection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.aex import FixedAexDelays
+from repro.hardware.machine import Machine
+from repro.hardware.msr import MSR_IA32_TSC
+from repro.sim import Simulator, units
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=5)
+
+
+@pytest.fixture
+def machine(sim):
+    return Machine(sim, "host", core_count=4, isolated_cores=[3])
+
+
+class TestMachineConstruction:
+    def test_cores_and_ports_created(self, machine):
+        assert len(machine.cores) == 4
+        assert len(machine.aex_ports) == 4
+        assert machine.core(3).isolated
+        assert not machine.core(0).isolated
+
+    def test_shared_tsc(self, sim, machine):
+        sim.run(until=units.SECOND)
+        assert machine.tsc.read() == machine.tsc.read()
+
+    def test_core_bounds_checked(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.core(4)
+        with pytest.raises(ConfigurationError):
+            machine.port(99)
+
+    def test_zero_cores_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            Machine(sim, "bad", core_count=0)
+
+
+class TestAexSources:
+    def test_source_attached_to_correct_core(self, sim, machine):
+        machine.add_aex_source(2, FixedAexDelays(units.SECOND))
+        sim.run(until=units.seconds(3.5))
+        assert machine.port(2).count == 3
+        assert machine.port(0).count == 0
+
+    def test_duplicate_source_rejected(self, machine):
+        machine.add_aex_source(1, FixedAexDelays(units.SECOND))
+        with pytest.raises(ConfigurationError):
+            machine.add_aex_source(1, FixedAexDelays(units.SECOND))
+
+    def test_machine_wide_hits_selected_cores(self, sim, machine):
+        machine.add_machine_wide_interrupts(
+            FixedAexDelays(units.SECOND), core_indices=[0, 3]
+        )
+        sim.run(until=units.seconds(2.5))
+        assert machine.port(0).count == 2
+        assert machine.port(3).count == 2
+        assert machine.port(1).count == 0
+
+    def test_single_machine_wide_source(self, machine):
+        machine.add_machine_wide_interrupts(FixedAexDelays(units.SECOND))
+        with pytest.raises(ConfigurationError):
+            machine.add_machine_wide_interrupts(FixedAexDelays(units.SECOND))
+
+
+class TestMsr:
+    def test_rdmsr_returns_tsc_value(self, sim, machine):
+        sim.run(until=units.SECOND)
+        value = machine.msr[0].rdmsr(MSR_IA32_TSC)
+        assert value == machine.tsc.read()
+
+    def test_rdmsr_triggers_aex_on_that_core(self, machine):
+        machine.msr[1].rdmsr(MSR_IA32_TSC)
+        assert machine.port(1).count == 1
+        assert machine.port(1).history[0].cause == "rdmsr-sim"
+        assert machine.port(0).count == 0
+
+    def test_other_msr_reads_zero_but_still_interrupt(self, machine):
+        assert machine.msr[0].rdmsr(0x1B) == 0
+        assert machine.port(0).count == 1
+
+    def test_negative_address_rejected(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.msr[0].rdmsr(-1)
+
+    def test_read_log_records_time_and_address(self, sim, machine):
+        sim.run(until=units.SECOND)
+        machine.msr[0].rdmsr(MSR_IA32_TSC)
+        assert machine.msr[0].read_log == [(units.SECOND, MSR_IA32_TSC)]

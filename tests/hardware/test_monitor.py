@@ -1,0 +1,207 @@
+"""Tests for the INC-counting TSC monitor: accuracy, detection, calibration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cpu import CpuCore
+from repro.hardware.monitor import (
+    IncMonitor,
+    PAPER_WINDOW_TICKS,
+)
+from repro.hardware.tsc import PAPER_TSC_FREQUENCY_HZ, TimestampCounter
+from repro.sim import Simulator, units
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=4)
+
+
+@pytest.fixture
+def tsc(sim):
+    return TimestampCounter(sim)
+
+
+@pytest.fixture
+def monitor(sim, tsc):
+    return IncMonitor(sim, tsc, CpuCore(index=0), rng_name="monitor-test")
+
+
+def run_measure(sim, monitor, window=PAPER_WINDOW_TICKS):
+    box = {}
+
+    def runner():
+        box["m"] = yield from monitor.measure(window)
+
+    sim.process(runner())
+    sim.run()
+    return box["m"]
+
+
+class TestExpectedCount:
+    def test_paper_configuration_expectation(self, monitor):
+        # 15e6 ticks at 2899.999 MHz on a 3.5 GHz core: ~632182 INC.
+        assert monitor.expected_count() == pytest.approx(632_182, abs=1)
+
+    def test_scales_linearly_with_window(self, monitor):
+        assert monitor.expected_count(30_000_000) == pytest.approx(
+            2 * monitor.expected_count(15_000_000), rel=1e-12
+        )
+
+
+class TestMeasurement:
+    def test_first_measurement_shows_warmup_deficit(self, sim, monitor):
+        measurement = run_measure(sim, monitor)
+        assert measurement.inc_count == pytest.approx(632_182 - 10_734, abs=10)
+
+    def test_steady_state_tight_around_expectation(self, sim, monitor):
+        counts = []
+
+        def runner():
+            for _ in range(20):
+                m = yield from monitor.measure()
+                counts.append(m.inc_count)
+
+        sim.process(runner())
+        sim.run()
+        steady = counts[1:]
+        assert max(steady) - min(steady) <= 10
+        assert sum(steady) / len(steady) == pytest.approx(632_182, abs=6)
+
+    def test_window_duration_is_about_5ms(self, sim, monitor):
+        measurement = run_measure(sim, monitor)
+        expected_ns = PAPER_WINDOW_TICKS / PAPER_TSC_FREQUENCY_HZ * units.SECOND
+        assert measurement.duration_ns == pytest.approx(expected_ns, rel=1e-3)
+
+    def test_invalid_window_rejected(self, sim, monitor):
+        def runner():
+            yield from monitor.measure(0)
+
+        process = sim.process(runner())
+        process.defuse()
+        sim.run()
+        assert isinstance(process.value, ConfigurationError)
+
+    def test_aex_marks_measurement_interrupted(self, sim, tsc, monitor):
+        box = {}
+
+        def runner():
+            box["m"] = yield from monitor.measure()
+
+        def interrupter():
+            yield sim.timeout(units.milliseconds(2))
+            monitor.notify_aex()
+
+        sim.process(runner())
+        sim.process(interrupter())
+        sim.run()
+        assert box["m"].interrupted
+
+
+class TestManipulationDetection:
+    def _calibrate(self, sim, monitor):
+        box = {}
+
+        def runner():
+            box["c"] = yield from monitor.calibrate(samples=8)
+
+        sim.process(runner())
+        sim.run()
+        return box["c"]
+
+    def test_clean_windows_pass_check(self, sim, monitor):
+        calibration = self._calibrate(sim, monitor)
+        measurement = run_measure(sim, monitor)
+        assert monitor.check(measurement, calibration) is None
+
+    def test_tsc_speedup_detected_negative_deviation(self, sim, tsc, monitor):
+        calibration = self._calibrate(sim, monitor)
+        tsc.set_scale(1.1)
+        measurement = run_measure(sim, monitor)
+        deviation = monitor.check(measurement, calibration)
+        assert deviation is not None
+        # 10% faster TSC -> window ~9% shorter in real time -> fewer INC.
+        assert deviation == pytest.approx(-632_182 * (1 - 1 / 1.1), rel=0.01)
+
+    def test_tsc_slowdown_detected_positive_deviation(self, sim, tsc, monitor):
+        calibration = self._calibrate(sim, monitor)
+        tsc.set_scale(0.9)
+        measurement = run_measure(sim, monitor)
+        deviation = monitor.check(measurement, calibration)
+        assert deviation is not None and deviation > 0
+
+    def test_forward_tsc_jump_detected(self, sim, tsc, monitor):
+        calibration = self._calibrate(sim, monitor)
+        box = {}
+
+        def runner():
+            box["m"] = yield from monitor.measure()
+
+        def attacker():
+            yield sim.timeout(units.milliseconds(1))
+            tsc.apply_offset(2_000_000)  # jump forward mid-window
+
+        sim.process(runner())
+        sim.process(attacker())
+        sim.run()
+        deviation = monitor.check(box["m"], calibration)
+        # The window completes early: fewer core cycles -> negative deviation.
+        assert deviation is not None and deviation < -1000
+
+    def test_small_rate_manipulation_still_detected(self, sim, tsc, monitor):
+        """Even a 0.1% TSC rescale shifts counts by ~630 INC >> tolerance."""
+        calibration = self._calibrate(sim, monitor)
+        tsc.set_scale(1.001)
+        measurement = run_measure(sim, monitor)
+        assert monitor.check(measurement, calibration) is not None
+
+    def test_interrupted_measurement_cannot_be_checked(self, sim, monitor):
+        import dataclasses
+
+        calibration = self._calibrate(sim, monitor)
+        measurement = run_measure(sim, monitor)
+        tainted = dataclasses.replace(measurement, interrupted=True)
+        with pytest.raises(ConfigurationError):
+            monitor.check(tainted, calibration)
+
+    def test_window_mismatch_rejected(self, sim, monitor):
+        calibration = self._calibrate(sim, monitor)
+        measurement = run_measure(sim, monitor, window=PAPER_WINDOW_TICKS * 2)
+        with pytest.raises(ConfigurationError):
+            monitor.check(measurement, calibration)
+
+
+class TestCalibration:
+    def test_calibration_statistics_tight(self, sim, monitor):
+        box = {}
+
+        def runner():
+            box["c"] = yield from monitor.calibrate(samples=16)
+
+        sim.process(runner())
+        sim.run()
+        calibration = box["c"]
+        assert calibration.sample_count == 16
+        assert calibration.mean_inc == pytest.approx(632_182, abs=5)
+        assert calibration.std_inc < 10
+
+    def test_calibration_excludes_warmup(self, sim, monitor):
+        box = {}
+
+        def runner():
+            box["c"] = yield from monitor.calibrate(samples=8)
+
+        sim.process(runner())
+        sim.run()
+        # Warm-up deficit is ~10k INC; had it been included the mean would
+        # be visibly depressed.
+        assert box["c"].mean_inc > 632_182 - 100
+
+    def test_minimum_samples_enforced(self, sim, monitor):
+        def runner():
+            yield from monitor.calibrate(samples=1)
+
+        process = sim.process(runner())
+        process.defuse()
+        sim.run()
+        assert isinstance(process.value, ConfigurationError)

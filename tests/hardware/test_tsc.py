@@ -1,0 +1,111 @@
+"""Tests for the TimeStamp Counter model and hypervisor manipulations."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.tsc import PAPER_TSC_FREQUENCY_HZ, TimestampCounter
+from repro.sim import Simulator, units
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+class TestHonestCounter:
+    def test_starts_at_start_value(self, sim):
+        tsc = TimestampCounter(sim, start_value=1234)
+        assert tsc.read() == 1234
+
+    def test_increments_at_configured_frequency(self, sim):
+        tsc = TimestampCounter(sim, frequency_hz=2_000_000_000)
+        sim.run(until=units.SECOND)
+        assert tsc.read() == 2_000_000_000
+
+    def test_paper_frequency_default(self, sim):
+        tsc = TimestampCounter(sim)
+        assert tsc.frequency_hz == PAPER_TSC_FREQUENCY_HZ
+        sim.run(until=units.SECOND)
+        assert tsc.read() == int(PAPER_TSC_FREQUENCY_HZ)
+
+    def test_monotone_without_manipulation(self, sim):
+        tsc = TimestampCounter(sim)
+        values = []
+        for _ in range(5):
+            values.append(tsc.read())
+            sim.run(until=sim.now + units.MILLISECOND)
+        assert values == sorted(values)
+
+    def test_invalid_frequency_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            TimestampCounter(sim, frequency_hz=0)
+
+    def test_ticks_between(self, sim):
+        tsc = TimestampCounter(sim, frequency_hz=1_000_000_000)
+        assert tsc.ticks_between(0, units.SECOND) == 1_000_000_000
+
+
+class TestOffsetManipulation:
+    def test_forward_jump(self, sim):
+        tsc = TimestampCounter(sim, frequency_hz=1_000_000_000)
+        sim.run(until=units.SECOND)
+        before = tsc.read()
+        tsc.apply_offset(500)
+        assert tsc.read() == before + 500
+
+    def test_backward_jump(self, sim):
+        tsc = TimestampCounter(sim, frequency_hz=1_000_000_000)
+        sim.run(until=units.SECOND)
+        before = tsc.read()
+        tsc.apply_offset(-100_000)
+        assert tsc.read() == before - 100_000
+
+    def test_manipulations_recorded(self, sim):
+        tsc = TimestampCounter(sim)
+        tsc.apply_offset(10)
+        tsc.set_scale(1.5)
+        kinds = [m.kind for m in tsc.manipulations]
+        assert kinds == ["offset", "scale"]
+
+
+class TestScaleManipulation:
+    def test_scale_changes_rate(self, sim):
+        tsc = TimestampCounter(sim, frequency_hz=1_000_000_000)
+        tsc.set_scale(1.1)
+        sim.run(until=units.SECOND)
+        assert tsc.read() == pytest.approx(1_100_000_000, rel=1e-9)
+
+    def test_value_continuous_at_scale_switch(self, sim):
+        tsc = TimestampCounter(sim, frequency_hz=1_000_000_000)
+        sim.run(until=units.SECOND)
+        before = tsc.read()
+        tsc.set_scale(2.0)
+        assert tsc.read() == before
+
+    def test_scales_compose(self, sim):
+        tsc = TimestampCounter(sim, frequency_hz=1_000_000_000)
+        tsc.set_scale(2.0)
+        sim.run(until=units.SECOND)
+        tsc.set_scale(0.5)
+        sim.run(until=2 * units.SECOND)
+        assert tsc.read() == pytest.approx(2_500_000_000, rel=1e-9)
+
+    def test_non_positive_scale_rejected(self, sim):
+        tsc = TimestampCounter(sim)
+        with pytest.raises(ConfigurationError):
+            tsc.set_scale(0)
+        with pytest.raises(ConfigurationError):
+            tsc.set_scale(-1.0)
+
+
+class TestConversions:
+    def test_duration_for_ticks_inverts_ticks_for_duration(self, sim):
+        tsc = TimestampCounter(sim, frequency_hz=2_900_000_000)
+        duration = units.milliseconds(5)
+        ticks = tsc.ticks_for_duration(duration)
+        assert tsc.duration_for_ticks(ticks) == pytest.approx(duration, abs=2)
+
+    def test_conversions_respect_scale(self, sim):
+        tsc = TimestampCounter(sim, frequency_hz=1_000_000_000)
+        tsc.set_scale(2.0)
+        assert tsc.ticks_for_duration(units.SECOND) == 2_000_000_000

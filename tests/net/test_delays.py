@@ -1,0 +1,66 @@
+"""Tests for network delay models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.delays import ConstantDelay, LogNormalDelay, UniformDelay, paper_lan_delay
+from repro.sim.units import MICROSECOND
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1)
+
+
+class TestConstantDelay:
+    def test_always_same(self, rng):
+        model = ConstantDelay(123)
+        assert all(model.sample(rng) == 123 for _ in range(10))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantDelay(-1)
+
+
+class TestUniformDelay:
+    def test_within_bounds(self, rng):
+        model = UniformDelay(100, 200)
+        draws = [model.sample(rng) for _ in range(1000)]
+        assert min(draws) >= 100
+        assert max(draws) <= 200
+
+    def test_bounds_inclusive(self, rng):
+        model = UniformDelay(5, 5)
+        assert model.sample(rng) == 5
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformDelay(200, 100)
+        with pytest.raises(ConfigurationError):
+            UniformDelay(-1, 100)
+
+
+class TestLogNormalDelay:
+    def test_median_approximately_honoured(self, rng):
+        model = LogNormalDelay(median_ns=100_000, sigma=0.3)
+        draws = sorted(model.sample(rng) for _ in range(4001))
+        assert draws[2000] == pytest.approx(100_000, rel=0.05)
+
+    def test_floor_enforced(self, rng):
+        model = LogNormalDelay(median_ns=100, sigma=2.0, floor_ns=90)
+        assert all(model.sample(rng) >= 90 for _ in range(1000))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalDelay(0)
+        with pytest.raises(ConfigurationError):
+            LogNormalDelay(100, sigma=-1)
+
+
+class TestPaperProfile:
+    def test_paper_lan_delay_is_sub_millisecond_scale(self, rng):
+        model = paper_lan_delay()
+        draws = [model.sample(rng) for _ in range(2000)]
+        assert np.median(draws) == pytest.approx(150 * MICROSECOND, rel=0.1)
+        assert min(draws) >= 20 * MICROSECOND

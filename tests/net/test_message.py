@@ -1,0 +1,66 @@
+"""Tests for datagram/address types and the protocol message dataclasses."""
+
+import pytest
+
+from repro.messages import (
+    PeerTimeRequest,
+    PeerTimeResponse,
+    TimeRequest,
+    TimeResponse,
+)
+from repro.net.message import Address, Datagram
+
+
+class TestAddress:
+    def test_equality_and_hashing(self):
+        assert Address("a", 1) == Address("a", 1)
+        assert Address("a", 1) != Address("a", 2)
+        assert len({Address("a"), Address("a"), Address("b")}) == 2
+
+    def test_str(self):
+        assert str(Address("node-1", 7)) == "node-1:7"
+
+
+class TestDatagram:
+    def test_unique_ids(self):
+        a = Datagram(Address("x"), Address("y"), b"1", sent_at_ns=0)
+        b = Datagram(Address("x"), Address("y"), b"2", sent_at_ns=0)
+        assert a.datagram_id != b.datagram_id
+
+    def test_size_is_payload_length(self):
+        datagram = Datagram(Address("x"), Address("y"), b"12345", sent_at_ns=0)
+        assert datagram.size_bytes == 5
+
+
+class TestProtocolMessages:
+    def test_time_request_defaults_to_immediate(self):
+        request = TimeRequest(request_id=1)
+        assert request.sleep_ns == 0
+
+    def test_messages_are_frozen(self):
+        request = TimeRequest(request_id=1)
+        with pytest.raises(AttributeError):
+            request.sleep_ns = 5  # type: ignore[misc]
+
+    def test_peer_response_default_error_bound_zero(self):
+        """The base protocol sends zero bounds; only hardened nodes fill
+        them — the wire format stays compatible across variants."""
+        response = PeerTimeResponse(request_id=1, timestamp_ns=100)
+        assert response.error_bound_ns == 0
+
+    def test_time_response_round_trips_through_aead(self):
+        from repro.net.crypto import SecureChannelKey
+
+        key = SecureChannelKey.between("n", "ta")
+        response = TimeResponse(
+            request_id=9,
+            reference_time_ns=123,
+            sleep_ns=1_000_000_000,
+            receive_time_ns=100,
+            transmit_time_ns=123,
+        )
+        assert key.open(key.seal(response)) == response
+
+    def test_equality_by_value(self):
+        assert PeerTimeRequest(request_id=4) == PeerTimeRequest(request_id=4)
+        assert PeerTimeRequest(request_id=4) != PeerTimeRequest(request_id=5)

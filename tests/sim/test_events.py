@@ -1,0 +1,158 @@
+"""Tests for event primitives: lifecycle, composition, failure handling."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    ConditionError,
+    Event,
+    EventAlreadyTriggered,
+    Simulator,
+    SimulationError,
+    Timeout,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+class TestEventLifecycle:
+    def test_starts_pending(self, sim):
+        event = sim.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_before_trigger_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.event().value
+        with pytest.raises(SimulationError):
+            sim.event().ok
+
+    def test_succeed_carries_value(self, sim):
+        event = sim.event().succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_double_trigger_rejected(self, sim):
+        event = sim.event().succeed()
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed()
+        with pytest.raises(EventAlreadyTriggered):
+            event.fail(RuntimeError("x"))
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_callbacks_run_at_processing_time(self, sim):
+        log = []
+        event = sim.event()
+        event.callbacks.append(lambda e: log.append(sim.now))
+        event.succeed(delay=500)
+        assert log == []
+        sim.run()
+        assert log == [500]
+
+    def test_unhandled_failure_surfaces_in_run(self, sim):
+        sim.event().fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+    def test_defused_failure_is_silent(self, sim):
+        event = sim.event()
+        event.fail(ValueError("boom"))
+        event.defuse()
+        sim.run()  # must not raise
+
+
+class TestTimeout:
+    def test_fires_after_delay(self, sim):
+        fired = []
+        timeout = sim.timeout(1_000, value="tick")
+        timeout.callbacks.append(lambda e: fired.append((sim.now, e.value)))
+        sim.run()
+        assert fired == [(1_000, "tick")]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1)
+
+    def test_zero_delay_fires_at_current_instant(self, sim):
+        timeout = sim.timeout(0)
+        sim.run()
+        assert timeout.processed
+        assert sim.now == 0
+
+    def test_triggered_at_construction_but_not_processed(self, sim):
+        timeout = sim.timeout(10)
+        assert timeout.triggered
+        assert not timeout.processed
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self, sim):
+        a, b = sim.timeout(10, "a"), sim.timeout(20, "b")
+        both = sim.all_of([a, b])
+        both.callbacks.append(lambda e: results.append(sim.now))
+        results = []
+        sim.run()
+        assert results == [20]
+        assert set(both.value.values()) == {"a", "b"}
+
+    def test_any_of_fires_on_first(self, sim):
+        a, b = sim.timeout(10, "a"), sim.timeout(20, "b")
+        either = sim.any_of([a, b])
+        fired_at = []
+        either.callbacks.append(lambda e: fired_at.append(sim.now))
+        sim.run()
+        assert fired_at == [10]
+
+    def test_any_of_does_not_fire_on_merely_triggered_timeouts(self, sim):
+        # Regression test: Timeouts are triggered at construction; the
+        # condition must wait for them to be *processed*.
+        pending = sim.event()
+        late = sim.timeout(500)
+        either = sim.any_of([pending, late])
+        log = []
+        either.callbacks.append(lambda e: log.append(sim.now))
+        sim.run()
+        assert log == [500]
+
+    def test_operator_composition(self, sim):
+        a, b = sim.timeout(5), sim.timeout(7)
+        assert isinstance(a & b, AllOf)
+        assert isinstance(a | b, AnyOf)
+
+    def test_condition_with_already_processed_event(self, sim):
+        a = sim.timeout(1, "early")
+        sim.run()
+        assert a.processed
+        b = sim.timeout(3, "late")
+        both = sim.all_of([a, b])
+        sim.run()
+        assert both.processed
+        assert both.value[a] == "early"
+
+    def test_failed_sub_event_fails_condition(self, sim):
+        good = sim.timeout(10)
+        bad = sim.event()
+        cond = sim.all_of([good, bad])
+        cond.defuse()
+        bad.fail(RuntimeError("sub failed"), delay=5)
+        sim.run()
+        assert cond.processed
+        assert not cond.ok
+        assert isinstance(cond.value, ConditionError)
+
+    def test_cross_simulator_events_rejected(self, sim):
+        other = Simulator(seed=1)
+        with pytest.raises(SimulationError):
+            sim.all_of([sim.event(), other.event()])
+
+    def test_empty_all_of_fires_immediately(self, sim):
+        cond = sim.all_of([])
+        assert cond.triggered

@@ -1,0 +1,141 @@
+"""Tests for the simulator event loop: ordering, run modes, determinism."""
+
+import pytest
+
+from repro.sim import EmptySchedule, Simulator, SimulationError, units
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0
+
+    def test_advances_only_through_events(self, sim):
+        sim.timeout(100)
+        sim.run()
+        assert sim.now == 100
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self, sim):
+        log = []
+        for delay in (30, 10, 20):
+            sim.timeout(delay, value=delay).callbacks.append(
+                lambda e: log.append(e.value)
+            )
+        sim.run()
+        assert log == [10, 20, 30]
+
+    def test_same_time_events_fire_in_schedule_order(self, sim):
+        log = []
+        for tag in ("first", "second", "third"):
+            sim.timeout(50, value=tag).callbacks.append(lambda e: log.append(e.value))
+        sim.run()
+        assert log == ["first", "second", "third"]
+
+    def test_peek_reports_next_event_time(self, sim):
+        assert sim.peek() is None
+        sim.timeout(42)
+        assert sim.peek() == 42
+
+    def test_step_on_empty_queue_raises(self, sim):
+        with pytest.raises(EmptySchedule):
+            sim.step()
+
+
+class TestRunModes:
+    def test_run_until_time_stops_exactly_there(self, sim):
+        log = []
+
+        def ticker():
+            while True:
+                yield sim.timeout(units.SECOND)
+                log.append(sim.now)
+
+        sim.process(ticker())
+        sim.run(until=3 * units.SECOND)
+        assert sim.now == 3 * units.SECOND
+        assert log == [units.SECOND, 2 * units.SECOND, 3 * units.SECOND]
+
+    def test_run_until_event_returns_its_value(self, sim):
+        def worker():
+            yield sim.timeout(7)
+            return "done"
+
+        result = sim.run(until=sim.process(worker()))
+        assert result == "done"
+        assert sim.now == 7
+
+    def test_run_until_failed_event_raises(self, sim):
+        def worker():
+            yield sim.timeout(7)
+            raise RuntimeError("bad")
+
+        with pytest.raises(RuntimeError, match="bad"):
+            sim.run(until=sim.process(worker()))
+
+    def test_run_until_event_that_never_fires_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.run(until=sim.event())
+
+    def test_run_until_past_time_rejected(self, sim):
+        sim.timeout(100)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.run(until=50)
+
+    def test_run_until_bad_type_rejected(self, sim):
+        with pytest.raises(TypeError):
+            sim.run(until="eternity")
+
+    def test_run_drains_queue_with_no_argument(self, sim):
+        sim.timeout(10)
+        sim.timeout(20)
+        sim.run()
+        assert sim.peek() is None
+
+    def test_resumable_runs(self, sim):
+        log = []
+
+        def ticker():
+            while True:
+                yield sim.timeout(10)
+                log.append(sim.now)
+
+        sim.process(ticker())
+        sim.run(until=25)
+        assert log == [10, 20]
+        sim.run(until=45)
+        assert log == [10, 20, 30, 40]
+
+
+class TestDeterminism:
+    def _trace(self, seed):
+        sim = Simulator(seed=seed)
+        log = []
+
+        def noisy(name):
+            rng = sim.rng.stream(name)
+            while True:
+                yield sim.timeout(int(rng.integers(1, 1000)))
+                log.append((name, sim.now))
+
+        sim.process(noisy("a"))
+        sim.process(noisy("b"))
+        sim.run(until=100_000)
+        return log
+
+    def test_same_seed_same_trace(self):
+        assert self._trace(7) == self._trace(7)
+
+    def test_different_seed_different_trace(self):
+        assert self._trace(7) != self._trace(8)
+
+    def test_negative_schedule_rejected(self, sim):
+        event = sim.event()
+        with pytest.raises(ValueError):
+            event.succeed(delay=-5)

@@ -1,0 +1,211 @@
+"""Tests for generator processes: suspension, interrupts, results, errors."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator, SimulationError, units
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+class TestBasicExecution:
+    def test_process_advances_through_timeouts(self, sim):
+        log = []
+
+        def worker():
+            for _ in range(3):
+                yield sim.timeout(units.SECOND)
+                log.append(sim.now)
+
+        sim.process(worker())
+        sim.run()
+        assert log == [units.SECOND, 2 * units.SECOND, 3 * units.SECOND]
+
+    def test_return_value_becomes_event_value(self, sim):
+        def worker():
+            yield sim.timeout(5)
+            return "result"
+
+        process = sim.process(worker())
+        sim.run()
+        assert process.processed
+        assert process.value == "result"
+
+    def test_waiting_on_child_process(self, sim):
+        def child():
+            yield sim.timeout(10)
+            return 99
+
+        def parent():
+            value = yield sim.process(child())
+            return value + 1
+
+        parent_process = sim.process(parent())
+        sim.run()
+        assert parent_process.value == 100
+
+    def test_requires_generator(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_timeout_value_delivered_to_process(self, sim):
+        received = []
+
+        def worker():
+            value = yield sim.timeout(5, value="hello")
+            received.append(value)
+
+        sim.process(worker())
+        sim.run()
+        assert received == ["hello"]
+
+    def test_yielding_non_event_raises_inside_process(self, sim):
+        caught = []
+
+        def worker():
+            try:
+                yield "not an event"
+            except TypeError as exc:
+                caught.append(str(exc))
+            yield sim.timeout(1)
+
+        sim.process(worker())
+        sim.run()
+        assert caught and "must yield Event" in caught[0]
+
+    def test_is_alive_tracks_completion(self, sim):
+        def worker():
+            yield sim.timeout(5)
+
+        process = sim.process(worker())
+        assert process.is_alive
+        sim.run()
+        assert not process.is_alive
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, sim):
+        causes = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100 * units.SECOND)
+            except Interrupt as interrupt:
+                causes.append((sim.now, interrupt.cause))
+
+        target = sim.process(sleeper())
+
+        def interrupter():
+            yield sim.timeout(units.SECOND)
+            target.interrupt("aex")
+
+        sim.process(interrupter())
+        sim.run()
+        assert causes == [(units.SECOND, "aex")]
+
+    def test_interrupted_event_can_be_reawaited(self, sim):
+        log = []
+
+        def sleeper():
+            nap = sim.timeout(10)
+            try:
+                yield nap
+            except Interrupt:
+                log.append("interrupted")
+                yield nap  # original timeout still pending
+                log.append(sim.now)
+
+        target = sim.process(sleeper())
+
+        def interrupter():
+            yield sim.timeout(3)
+            target.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        assert log == ["interrupted", 10]
+
+    def test_interrupting_finished_process_raises(self, sim):
+        def worker():
+            yield sim.timeout(1)
+
+        process = sim.process(worker())
+        sim.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_unhandled_interrupt_fails_process(self, sim):
+        def worker():
+            yield sim.timeout(100)
+
+        process = sim.process(worker())
+
+        def interrupter():
+            yield sim.timeout(1)
+            process.interrupt("die")
+
+        sim.process(interrupter())
+        process.defuse()
+        sim.run()
+        assert process.processed
+        assert not process.ok
+
+    def test_multiple_queued_interrupts_all_delivered(self, sim):
+        causes = []
+
+        def stubborn():
+            for _ in range(2):
+                try:
+                    yield sim.timeout(100)
+                except Interrupt as interrupt:
+                    causes.append(interrupt.cause)
+
+        target = sim.process(stubborn())
+
+        def interrupter():
+            yield sim.timeout(1)
+            target.interrupt("first")
+            target.interrupt("second")
+
+        sim.process(interrupter())
+        sim.run()
+        assert causes == ["first", "second"]
+
+
+class TestProcessFailure:
+    def test_exception_in_process_fails_its_event(self, sim):
+        def worker():
+            yield sim.timeout(1)
+            raise RuntimeError("worker died")
+
+        process = sim.process(worker())
+        process.defuse()
+        sim.run()
+        assert not process.ok
+        assert isinstance(process.value, RuntimeError)
+
+    def test_parent_sees_child_exception(self, sim):
+        def child():
+            yield sim.timeout(1)
+            raise ValueError("child error")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        parent_process = sim.process(parent())
+        sim.run()
+        assert parent_process.value == "caught child error"
+
+    def test_unawaited_process_failure_surfaces(self, sim):
+        def worker():
+            yield sim.timeout(1)
+            raise RuntimeError("nobody listening")
+
+        sim.process(worker())
+        with pytest.raises(RuntimeError, match="nobody listening"):
+            sim.run()

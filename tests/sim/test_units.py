@@ -1,0 +1,54 @@
+"""Tests for time-unit constants and conversions."""
+
+from repro.sim import units
+
+
+class TestConstants:
+    def test_second_is_1e9_nanoseconds(self):
+        assert units.SECOND == 1_000_000_000
+
+    def test_constant_ladder(self):
+        assert units.MICROSECOND == 1_000 * units.NANOSECOND
+        assert units.MILLISECOND == 1_000 * units.MICROSECOND
+        assert units.SECOND == 1_000 * units.MILLISECOND
+        assert units.MINUTE == 60 * units.SECOND
+        assert units.HOUR == 60 * units.MINUTE
+
+
+class TestConversions:
+    def test_seconds_round_trip(self):
+        assert units.seconds(1.5) == 1_500_000_000
+        assert units.to_seconds(units.seconds(2.25)) == 2.25
+
+    def test_milliseconds(self):
+        assert units.milliseconds(532) == 532_000_000
+        assert units.to_milliseconds(units.milliseconds(10)) == 10.0
+
+    def test_microseconds(self):
+        assert units.microseconds(50) == 50_000
+
+    def test_seconds_rounds_not_truncates(self):
+        assert units.seconds(0.9999999996) == units.SECOND
+
+    def test_conversions_produce_integers(self):
+        assert isinstance(units.seconds(0.1), int)
+        assert isinstance(units.milliseconds(0.5), int)
+
+
+class TestFormatDuration:
+    def test_picks_largest_sensible_unit(self):
+        assert units.format_duration(1_590_000_000) == "1.590s"
+        assert units.format_duration(10_000_000) == "10.000ms"
+        assert units.format_duration(50_000) == "50.000us"
+        assert units.format_duration(7) == "7ns"
+
+    def test_hours_and_minutes(self):
+        assert units.format_duration(2 * units.HOUR) == "2.000h"
+        assert units.format_duration(90 * units.SECOND) == "1.500min"
+
+    def test_negative_durations_keep_sign(self):
+        assert units.format_duration(-units.SECOND) == "-1.000s"
+        assert units.format_duration(-3) == "-3ns"
+
+    def test_zero(self):
+        assert units.format_duration(0) == "0ns"

@@ -1,0 +1,130 @@
+"""Tests for the T3E node: use limiting, stalls, staleness bounds."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Simulator, units
+from repro.t3e import T3eNode, TpmBus, TrustedPlatformModule
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=121)
+
+
+def build_node(sim, max_uses=5, latency_ms=20, drift=0.0):
+    tpm = TrustedPlatformModule(sim, drift_rate=drift)
+    bus = TpmBus(sim, tpm, command_latency_ns=units.milliseconds(latency_ms))
+    return T3eNode(sim, bus, max_uses=max_uses), bus
+
+
+def run_requests(sim, node, count, interval_ns=0):
+    results = []
+
+    def app():
+        for _ in range(count):
+            timestamp = yield node.request_timestamp()
+            results.append((sim.now, timestamp))
+            if interval_ns:
+                yield sim.timeout(interval_ns)
+
+    sim.process(app())
+    sim.run()
+    return results
+
+
+class TestUseLimiting:
+    def test_one_fetch_per_max_uses(self, sim):
+        node, _ = build_node(sim, max_uses=5)
+        run_requests(sim, node, 20)
+        assert node.stats.tpm_fetches == 4
+        assert node.stats.timestamps_served == 20
+
+    def test_first_request_always_stalls(self, sim):
+        node, _ = build_node(sim)
+        run_requests(sim, node, 1)
+        assert node.stats.stalls == 1
+        assert node.stats.total_stall_ns == units.milliseconds(20)
+
+    def test_uses_left_decrements(self, sim):
+        node, _ = build_node(sim, max_uses=3)
+        run_requests(sim, node, 2)
+        assert node.uses_left == 1
+
+    def test_validation(self, sim):
+        _, bus = build_node(sim)
+        with pytest.raises(ConfigurationError):
+            T3eNode(sim, bus, max_uses=0)
+
+
+class TestMonotonicity:
+    def test_served_timestamps_strictly_increase(self, sim):
+        node, _ = build_node(sim, max_uses=4)
+        run_requests(sim, node, 30)
+        assert node.stats.monotonic()
+
+    def test_cached_value_bumped_within_a_batch(self, sim):
+        node, _ = build_node(sim, max_uses=3)
+        results = run_requests(sim, node, 3)
+        timestamps = [t for _, t in results]
+        # Same cached reading served thrice: consecutive minimal bumps.
+        assert timestamps[1] == timestamps[0] + 1
+        assert timestamps[2] == timestamps[1] + 1
+
+
+class TestDelayAttack:
+    def test_staleness_bounded_by_one_delayed_fetch(self, sim):
+        node, bus = build_node(sim, max_uses=10)
+        bus.set_attack_delay(units.milliseconds(500))
+        run_requests(sim, node, 40)
+        # Bound: attack delay + inbound half-latency.
+        assert node.stats.max_staleness_ns() <= units.milliseconds(510)
+        assert node.stats.max_staleness_ns() >= units.milliseconds(500)
+
+    def test_throughput_collapses_under_attack(self, sim):
+        node, bus = build_node(sim, max_uses=5)
+        clean = run_requests(sim, node, 20)
+        clean_elapsed = clean[-1][0] - clean[0][0]
+        sim2 = Simulator(seed=122)
+        node2, bus2 = build_node(sim2, max_uses=5)
+        bus2.set_attack_delay(units.milliseconds(500))
+        attacked = run_requests(sim2, node2, 20)
+        attacked_elapsed = attacked[-1][0] - attacked[0][0]
+        # 4 extra fetches x 500 ms: an order of magnitude slower.
+        assert attacked_elapsed > 10 * clean_elapsed
+
+    def test_attack_visible_in_stall_accounting(self, sim):
+        node, bus = build_node(sim, max_uses=5)
+        bus.set_attack_delay(units.milliseconds(500))
+        run_requests(sim, node, 20)
+        mean_stall = node.stats.total_stall_ns / node.stats.tpm_fetches
+        assert mean_stall > units.milliseconds(500)
+
+
+class TestTpmDriftAttack:
+    def test_owner_drift_passes_through_undetected(self, sim):
+        """T3E has no external reference: a +32.5% TPM drift simply becomes
+        +32.5% timestamp drift — the weakness §II-A calls out."""
+        node, _ = build_node(sim, max_uses=2, drift=0.325)
+        results = run_requests(sim, node, 50, interval_ns=units.milliseconds(100))
+        final_time, final_timestamp = results[-1]
+        drift = final_timestamp - final_time
+        # ~32.5% of elapsed time, minus the staleness of cached readings.
+        assert drift > 0.25 * final_time
+
+    def test_concurrent_requesters_all_served(self, sim):
+        node, _ = build_node(sim, max_uses=2)
+        all_results = []
+
+        def app(tag):
+            for _ in range(10):
+                timestamp = yield node.request_timestamp()
+                all_results.append((tag, timestamp))
+                yield sim.timeout(units.milliseconds(7))
+
+        sim.process(app("a"))
+        sim.process(app("b"))
+        sim.process(app("c"))
+        sim.run()
+        assert len(all_results) == 30
+        assert node.stats.monotonic()

@@ -1,0 +1,93 @@
+"""Tests for the TPM model: clock, drift configuration, bus delays."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Simulator, units
+from repro.t3e.tpm import TPM_MAX_DRIFT_RATE, TpmBus, TrustedPlatformModule
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=120)
+
+
+def read_once(sim, bus):
+    box = {}
+
+    def reader():
+        box["r"] = yield from bus.read_clock()
+
+    sim.process(reader())
+    sim.run()
+    return box["r"]
+
+
+class TestTpmClock:
+    def test_tracks_real_time_without_drift(self, sim):
+        tpm = TrustedPlatformModule(sim)
+        sim.run(until=units.SECOND)
+        assert tpm.clock_ns() == units.SECOND
+
+    def test_owner_drift_applied(self, sim):
+        tpm = TrustedPlatformModule(sim, drift_rate=0.325)
+        sim.run(until=units.SECOND)
+        assert tpm.clock_ns() == pytest.approx(1.325 * units.SECOND, rel=1e-9)
+
+    def test_drift_beyond_tcg_bound_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            TrustedPlatformModule(sim, drift_rate=0.4)
+        tpm = TrustedPlatformModule(sim)
+        with pytest.raises(ConfigurationError):
+            tpm.configure_drift(-TPM_MAX_DRIFT_RATE - 0.01)
+
+    def test_reconfiguration_continuous(self, sim):
+        tpm = TrustedPlatformModule(sim)
+        sim.run(until=units.SECOND)
+        before = tpm._value_now()
+        tpm.configure_drift(-0.3)
+        assert tpm._value_now() == pytest.approx(before, abs=1)
+        sim.run(until=2 * units.SECOND)
+        assert tpm.clock_ns() == pytest.approx(units.SECOND + 0.7 * units.SECOND, rel=1e-6)
+
+    def test_clock_monotone_even_with_negative_drift(self, sim):
+        tpm = TrustedPlatformModule(sim, drift_rate=-0.325)
+        values = []
+        for _ in range(5):
+            values.append(tpm.clock_ns())
+            sim.run(until=sim.now + 1)
+        assert values == sorted(values)
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+
+class TestTpmBus:
+    def test_read_costs_command_latency(self, sim):
+        tpm = TrustedPlatformModule(sim)
+        bus = TpmBus(sim, tpm, command_latency_ns=units.milliseconds(20))
+        reading = read_once(sim, bus)
+        assert reading.latency_ns == units.milliseconds(20)
+        assert reading.staleness_on_arrival_ns == units.milliseconds(10)
+
+    def test_attack_delay_inflates_response_leg(self, sim):
+        tpm = TrustedPlatformModule(sim)
+        bus = TpmBus(sim, tpm, command_latency_ns=units.milliseconds(20))
+        bus.set_attack_delay(units.milliseconds(300))
+        reading = read_once(sim, bus)
+        assert reading.latency_ns == units.milliseconds(320)
+        # The value was sampled before the delay: stale on arrival.
+        assert reading.staleness_on_arrival_ns == units.milliseconds(310)
+
+    def test_sampled_value_matches_sample_instant(self, sim):
+        tpm = TrustedPlatformModule(sim)
+        bus = TpmBus(sim, tpm, command_latency_ns=units.milliseconds(20))
+        bus.set_attack_delay(units.SECOND)
+        reading = read_once(sim, bus)
+        assert reading.clock_ns == reading.sampled_at_ns
+
+    def test_validation(self, sim):
+        tpm = TrustedPlatformModule(sim)
+        with pytest.raises(ConfigurationError):
+            TpmBus(sim, tpm, command_latency_ns=-1)
+        bus = TpmBus(sim, tpm)
+        with pytest.raises(ConfigurationError):
+            bus.set_attack_delay(-1)

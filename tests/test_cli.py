@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "inc", "ablation"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_inc(self, capsys):
+        assert main(["run", "inc"]) == 0
+        out = capsys.readouterr().out
+        assert "632182" in out.replace(" ", "")
+
+    def test_run_ablation(self, capsys):
+        assert main(["run", "ablation"]) == 0
+        out = capsys.readouterr().out
+        assert "mean-only" in out
+
+    def test_run_fig2_short_with_export(self, capsys, tmp_path):
+        target = tmp_path / "csv"
+        assert main(["run", "fig2", "--duration-s", "120", "--export", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "node-1" in out
+        assert (target / "drift.csv").exists()
+
+    def test_run_fig6_custom_seed(self, capsys):
+        assert main(["run", "fig6", "--duration-s", "150", "--seed", "99"]) == 0
+        out = capsys.readouterr().out
+        assert "node-3" in out
+
+    def test_duration_ignored_for_fixed_experiments(self, capsys):
+        assert main(["run", "inc", "--duration-s", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "ignored" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "not-an-experiment"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSweep:
+    def test_sweep_jitter(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["sweep", "jitter"]) == 0
+        out = capsys.readouterr().out
+        assert "jitter_sigma" in out
+        assert "mean_abs_error_ppm" in out
+
+    def test_unknown_sweep_rejected(self):
+        import pytest as _pytest
+
+        from repro.cli import main as cli_main
+
+        with _pytest.raises(SystemExit):
+            cli_main(["sweep", "bogus"])
+
+
+class TestRunSpec:
+    def test_run_spec_from_file(self, capsys, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-spec-test",
+            "seed": 1,
+            "duration_s": 15,
+            "nodes": 3,
+            "environments": {"1": "triad-like", "2": "triad-like", "3": "triad-like"},
+            "machine_wide_mean_s": None,
+        }))
+        assert main(["run-spec", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-spec-test" in out
+        assert "node-3" in out
+
+    def test_run_spec_with_export(self, capsys, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-export-test",
+            "duration_s": 10,
+            "environments": {"1": "low-aex", "2": "low-aex", "3": "low-aex"},
+        }))
+        target = tmp_path / "csv"
+        assert main(["run-spec", str(spec_path), "--export", str(target)]) == 0
+        assert (target / "drift.csv").exists()
+
+    def test_shipped_sample_specs_are_valid(self):
+        from pathlib import Path
+
+        from repro.experiments.spec import ExperimentSpec
+
+        specs_dir = Path(__file__).resolve().parents[1] / "examples" / "specs"
+        samples = sorted(specs_dir.glob("*.json"))
+        assert len(samples) >= 3
+        for path in samples:
+            spec = ExperimentSpec.load(path)
+            spec.build()  # wiring must succeed without running

@@ -1,0 +1,119 @@
+"""Tests for the VM-level TEE clock models (TDX, SEV-SNP SecureTSC)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Simulator, units
+from repro.vmtee import SecureTscClock, TdxTscViolation, TdxVirtualTsc
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=130)
+
+
+class TestTdxVirtualTsc:
+    def test_guest_reads_linear_time(self, sim):
+        tsc = TdxVirtualTsc(sim, frequency_hz=1_000_000_000)
+        sim.run(until=units.SECOND)
+        assert tsc.read() == 1_000_000_000
+
+    def test_guest_write_forbidden(self, sim):
+        tsc = TdxVirtualTsc(sim)
+        with pytest.raises(TdxTscViolation):
+            tsc.write(0)
+
+    def test_hypervisor_offset_detected_on_entry(self, sim):
+        tsc = TdxVirtualTsc(sim, frequency_hz=1_000_000_000)
+        sim.run(until=units.SECOND)
+        tsc.hypervisor_offset(-500_000_000)
+        with pytest.raises(TdxTscViolation):
+            tsc.read()
+        assert len(tsc.detected_attempts) == 1
+        assert tsc.detected_attempts[0].kind == "offset"
+
+    def test_value_unaffected_after_detection(self, sim):
+        """After the violation is surfaced, the guest clock is intact."""
+        tsc = TdxVirtualTsc(sim, frequency_hz=1_000_000_000)
+        sim.run(until=units.SECOND)
+        tsc.hypervisor_scale(2.0)
+        with pytest.raises(TdxTscViolation):
+            tsc.read()
+        sim.run(until=2 * units.SECOND)
+        assert tsc.read() == 2_000_000_000  # linear, never rescaled
+
+    def test_multiple_attempts_reported_together(self, sim):
+        tsc = TdxVirtualTsc(sim)
+        tsc.hypervisor_offset(10)
+        tsc.hypervisor_scale(1.5)
+        with pytest.raises(TdxTscViolation):
+            tsc.read()
+        assert len(tsc.detected_attempts) == 2
+
+    def test_validation(self, sim):
+        with pytest.raises(ConfigurationError):
+            TdxVirtualTsc(sim, frequency_hz=0)
+        tsc = TdxVirtualTsc(sim)
+        with pytest.raises(ConfigurationError):
+            tsc.hypervisor_scale(0)
+
+
+class TestSecureTsc:
+    def test_guest_clock_linear(self, sim):
+        clock = SecureTscClock(sim, guest_frequency_hz=1_000_000_000)
+        sim.run(until=units.SECOND)
+        assert clock.guest_read() == 1_000_000_000
+
+    def test_host_writes_do_not_affect_guest(self, sim):
+        clock = SecureTscClock(sim, guest_frequency_hz=1_000_000_000)
+        sim.run(until=units.SECOND)
+        clock.host_write_offset(-999_000_000)
+        clock.host_write_scale(0.5)
+        sim.run(until=2 * units.SECOND)
+        assert clock.guest_read() == 2_000_000_000
+        assert len(clock.host_manipulations) == 2
+
+    def test_host_view_reflects_its_own_manipulations(self, sim):
+        clock = SecureTscClock(sim, guest_frequency_hz=1_000_000_000)
+        sim.run(until=units.SECOND)
+        clock.host_write_offset(500)
+        assert clock.host_read() == 1_000_000_500
+        assert clock.guest_read() == 1_000_000_000
+
+    def test_guest_monotone(self, sim):
+        clock = SecureTscClock(sim)
+        values = []
+        for _ in range(5):
+            values.append(clock.guest_read())
+            clock.host_write_offset(-10**12)
+            sim.run(until=sim.now + units.MILLISECOND)
+        assert values == sorted(values)
+
+    def test_validation(self, sim):
+        with pytest.raises(ConfigurationError):
+            SecureTscClock(sim, guest_frequency_hz=-1)
+        clock = SecureTscClock(sim)
+        with pytest.raises(ConfigurationError):
+            clock.host_write_scale(0)
+
+
+class TestCrossModelComparison:
+    def test_attack_outcomes_across_tee_generations(self, sim):
+        """The §II-B comparison: the same hypervisor offset attack is
+        silently effective on a raw (SGX-era) TSC, detected by TDX, and a
+        no-op under SecureTSC."""
+        from repro.hardware.tsc import TimestampCounter
+
+        raw = TimestampCounter(sim, frequency_hz=1_000_000_000)
+        tdx = TdxVirtualTsc(sim, frequency_hz=1_000_000_000)
+        sev = SecureTscClock(sim, guest_frequency_hz=1_000_000_000)
+        sim.run(until=units.SECOND)
+
+        raw.apply_offset(-500_000_000)
+        tdx.hypervisor_offset(-500_000_000)
+        sev.host_write_offset(-500_000_000)
+
+        assert raw.read() == 500_000_000  # silently wrong
+        with pytest.raises(TdxTscViolation):
+            tdx.read()  # detected
+        assert sev.guest_read() == 1_000_000_000  # unaffected
