@@ -1,12 +1,19 @@
 # Convenience targets for the Triad reproduction.
 
-.PHONY: install test bench reproduce figures clean
+.PHONY: install test lint bench reproduce figures sweeps clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping lint (pip install ruff)"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -16,6 +23,12 @@ bench-verbose:
 
 reproduce:
 	python examples/reproduce_paper.py
+
+sweeps:
+	python -m repro sweep attack-delay --jobs 4 --export out/sweeps
+	python -m repro sweep jitter --jobs 4 --export out/sweeps
+	python -m repro sweep cluster-size --jobs 4 --export out/sweeps
+	python -m repro sweep aex-rate --jobs 4 --export out/sweeps
 
 figures:
 	python -m repro run fig2 --export out/fig2

@@ -19,6 +19,7 @@ Package map
 ``repro.hardened``    §V hardening: deadlines, NTP discipline, true-chimers
 ``repro.analysis``    drift probes, statistics, tables, timing diagrams
 ``repro.experiments`` one canonical scenario per paper figure and table
+``repro.fleet``       parallel run engine: task pool, result cache, telemetry
 
 Quick start
 -----------

@@ -10,13 +10,20 @@ Commands
     also writes the series as CSVs.
 ``sweep <name>``
     Run a parameter sweep (``attack-delay``, ``jitter``, ``cluster-size``,
-    ``aex-rate``) and print its table.
+    ``aex-rate``) and print its table. ``--jobs N`` fans the points out
+    over worker processes (rows stay byte-identical to ``--jobs 1``);
+    results are cached on disk, so re-runs are served from cache unless
+    ``--no-cache`` is given. ``--export DIR`` writes the table as CSV and
+    ``--telemetry FILE`` dumps per-task JSONL run records.
+``batch <dir>``
+    Fan out every spec JSON in a directory through the fleet.
 ``run-spec <file.json>``
     Run a declarative experiment spec (see ``examples/specs/`` and
     :mod:`repro.experiments.spec`).
 ``reproduce``
     Run everything (delegates to ``examples/reproduce_paper.py``'s logic
-    via the same figure functions) and print the paper-vs-measured lines.
+    via the same figure functions) and print the paper-vs-measured lines;
+    ``--jobs N`` instead runs every experiment through the fleet pool.
 """
 
 from __future__ import annotations
@@ -41,6 +48,31 @@ _EXPERIMENTS: dict[str, tuple[str, Optional[int], Callable]] = {
     "ablation": ("ABL-CAL calibration estimators", None, lambda d: figures.calibration_ablation()),
 }
 
+#: sweep name -> metric columns of its table.
+_SWEEP_METRICS: dict[str, list[str]] = {
+    "attack-delay": ["skew_measured", "skew_predicted", "drift_ms_per_s"],
+    "jitter": ["mean_abs_error_ppm", "error_spread_ppm"],
+    "cluster-size": ["honest_nodes", "infected_fraction", "last_infection_s"],
+    "aex-rate": ["availability", "aex_count", "peer_untaints", "ta_references"],
+}
+
+
+def _add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = in-process, the default)"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="recompute even if cached results exist"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-fleet)",
+    )
+    parser.add_argument(
+        "--telemetry", metavar="FILE", default=None, help="write per-task JSONL records to FILE"
+    )
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -60,41 +92,184 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--export", metavar="DIR", default=None, help="write series CSVs to DIR")
 
     sweep = sub.add_parser("sweep", help="run a parameter sweep")
+    sweep.add_argument("sweep_name", choices=sorted(_SWEEP_METRICS))
+    sweep.add_argument("--seed", type=int, default=None, help="override the sweep's base seed")
     sweep.add_argument(
-        "sweep_name",
-        choices=["attack-delay", "jitter", "cluster-size", "aex-rate"],
+        "--limit", type=int, default=None, help="run only the first N points of the grid"
     )
+    sweep.add_argument(
+        "--export", metavar="DIR", default=None, help="write the sweep table as CSV to DIR"
+    )
+    _add_fleet_arguments(sweep)
+
+    batch = sub.add_parser("batch", help="run every spec JSON in a directory through the fleet")
+    batch.add_argument("directory", help="directory containing *.json experiment specs")
+    _add_fleet_arguments(batch)
 
     run_spec = sub.add_parser("run-spec", help="run a JSON experiment spec")
     run_spec.add_argument("spec_path", help="path to the spec JSON file")
     run_spec.add_argument("--export", metavar="DIR", default=None, help="write series CSVs to DIR")
 
-    sub.add_parser("reproduce", help="run every experiment and print the summary")
+    reproduce = sub.add_parser("reproduce", help="run every experiment and print the summary")
+    _add_fleet_arguments(reproduce)
     return parser
 
 
-def _run_sweep(name: str) -> None:
-    from repro.analysis.report import format_table
+def _validate_fleet_flags(args) -> Optional[int]:
+    """Exit code for invalid fleet flags, or None when they are fine."""
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if getattr(args, "limit", None) is not None and args.limit < 1:
+        print(f"error: --limit must be >= 1, got {args.limit}", file=sys.stderr)
+        return 2
+    return None
+
+
+def _fleet_pieces(args):
+    """(pool, cache, telemetry) configured from the shared fleet flags."""
+    from repro.fleet import FleetPool, FleetTelemetry, ResultCache
+
+    pool = FleetPool(jobs=args.jobs)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    telemetry = FleetTelemetry(stream=sys.stderr)
+    return pool, cache, telemetry
+
+
+def _finish_fleet(args, telemetry) -> None:
+    print(telemetry.render_summary(), file=sys.stderr)
+    if args.telemetry:
+        path = telemetry.write_jsonl(args.telemetry)
+        print(f"wrote telemetry JSONL to {path}", file=sys.stderr)
+
+
+def _sweep_tasks(name: str, seed: Optional[int]) -> list:
     from repro.attacks.delay import AttackMode
     from repro.experiments import sweeps
 
+    kwargs = {} if seed is None else {"seed": seed}
+    emitter = sweeps.TASK_EMITTERS[name]
     if name == "attack-delay":
-        points = sweeps.attack_delay_sweep(AttackMode.F_MINUS)
-        metrics = ["skew_measured", "skew_predicted", "drift_ms_per_s"]
-    elif name == "jitter":
-        points = sweeps.jitter_sweep()
-        metrics = ["mean_abs_error_ppm", "error_spread_ppm"]
-    elif name == "cluster-size":
-        points = sweeps.cluster_size_sweep()
-        metrics = ["honest_nodes", "infected_fraction", "last_infection_s"]
-    else:
-        points = sweeps.aex_rate_sweep()
-        metrics = ["availability", "aex_count", "peer_untaints", "ta_references"]
+        return emitter(AttackMode.F_MINUS, **kwargs)
+    return emitter(**kwargs)
+
+
+def _run_sweep(args) -> int:
+    from repro.analysis.report import format_table, to_csv
+    from repro.errors import FleetError
+    from repro.experiments import sweeps
+
+    invalid = _validate_fleet_flags(args)
+    if invalid is not None:
+        return invalid
+    tasks = _sweep_tasks(args.sweep_name, args.seed)
+    if args.limit is not None:
+        tasks = tasks[: args.limit]
+    pool, cache, telemetry = _fleet_pieces(args)
+    try:
+        points = sweeps.run_point_tasks(tasks, pool=pool, cache=cache, telemetry=telemetry)
+    except FleetError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+    metrics = _SWEEP_METRICS[args.sweep_name]
     rows = [
         [f"{value:.4g}" if isinstance(value, float) else value for value in point.row(metrics)]
         for point in points
     ]
-    print(format_table([points[0].parameter] + metrics, rows, title=f"sweep: {name}"))
+    print(format_table([points[0].parameter] + metrics, rows, title=f"sweep: {args.sweep_name}"))
+    _finish_fleet(args, telemetry)
+    if args.export:
+        from pathlib import Path
+
+        target = Path(args.export)
+        target.mkdir(parents=True, exist_ok=True)
+        csv_path = target / f"sweep_{args.sweep_name}.csv"
+        csv_path.write_text(
+            to_csv([points[0].parameter] + metrics, [point.row(metrics) for point in points])
+        )
+        print(f"wrote {csv_path}")
+    return 0
+
+
+def _run_batch(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.report import format_table
+    from repro.errors import ConfigurationError
+    from repro.experiments.spec import ExperimentSpec
+    from repro.fleet import RunTask
+
+    invalid = _validate_fleet_flags(args)
+    if invalid is not None:
+        return invalid
+    directory = Path(args.directory)
+    spec_paths = sorted(directory.glob("*.json"))
+    if not spec_paths:
+        print(f"no spec JSONs found in {directory}", file=sys.stderr)
+        return 1
+    tasks = []
+    for path in spec_paths:
+        try:
+            raw = json.loads(path.read_text())
+            spec = ExperimentSpec.from_dict(raw)  # fail on typos before any worker runs
+        except (json.JSONDecodeError, ConfigurationError, TypeError) as exc:
+            print(f"invalid spec {path}: {exc}", file=sys.stderr)
+            return 1
+        tasks.append(
+            RunTask(
+                kind="spec",
+                name=spec.name,
+                seed=spec.seed,
+                duration_ns=spec.duration_ns,
+                payload={"spec": raw},
+            )
+        )
+    pool, cache, telemetry = _fleet_pieces(args)
+    results = pool.run(tasks, cache=cache, telemetry=telemetry)
+    for result in results:
+        print()
+        if result.ok:
+            print(result.value["rendered"])
+        else:
+            print(f"spec {result.name!r} FAILED: {result.error}")
+    rows = [
+        [
+            result.name,
+            "cached" if result.from_cache else ("ok" if result.ok else "FAILED"),
+            f"{result.wall_s:.2f}",
+            result.attempts,
+        ]
+        for result in results
+    ]
+    print()
+    print(format_table(["spec", "status", "wall_s", "attempts"], rows, title="batch summary"))
+    _finish_fleet(args, telemetry)
+    return 0 if all(result.ok for result in results) else 1
+
+
+def _run_reproduce_fleet(args) -> int:
+    from repro.fleet import RunTask
+
+    invalid = _validate_fleet_flags(args)
+    if invalid is not None:
+        return invalid
+    tasks = [
+        RunTask(kind="experiment", name=name, payload={"experiment": name})
+        for name in _EXPERIMENTS
+    ]
+    pool, cache, telemetry = _fleet_pieces(args)
+    results = pool.run(tasks, cache=cache, telemetry=telemetry)
+    failed = False
+    for result in results:
+        print(f"\n=== {result.name} ===")
+        if result.ok:
+            print(result.value["rendered"])
+        else:
+            failed = True
+            print(f"FAILED: {result.error}")
+    _finish_fleet(args, telemetry)
+    return 1 if failed else 0
 
 
 def _run_experiment(name: str, seed: Optional[int], duration_s: Optional[float]):
@@ -149,8 +324,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 0
 
     if args.command == "sweep":
-        _run_sweep(args.sweep_name)
-        return 0
+        return _run_sweep(args)
+
+    if args.command == "batch":
+        return _run_batch(args)
 
     if args.command == "run-spec":
         from repro.experiments.figures import DriftFigureResult
@@ -168,6 +345,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 0
 
     if args.command == "reproduce":
+        invalid = _validate_fleet_flags(args)
+        if invalid is not None:
+            return invalid
+        if args.jobs > 1:
+            return _run_reproduce_fleet(args)
+
         import runpy
         from pathlib import Path
 

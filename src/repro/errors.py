@@ -28,6 +28,10 @@ class CalibrationError(ReproError):
     """Clock calibration could not be computed from the available samples."""
 
 
+class FleetError(ReproError):
+    """The fleet execution engine could not run or complete a task batch."""
+
+
 class MonitoringAlert(ReproError):
     """The in-enclave TSC monitor detected a discrepancy.
 

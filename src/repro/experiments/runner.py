@@ -38,7 +38,9 @@ class Experiment:
         """Advance the simulation to ``duration_ns`` and return self."""
         if duration_ns <= self.sim.now:
             raise ConfigurationError(
-                f"duration {duration_ns} must exceed current time {self.sim.now}"
+                f"cannot run experiment {self.name!r} to duration_ns={duration_ns}: "
+                f"the simulation clock is already at sim.now={self.sim.now} and "
+                f"cannot rewind; pass a duration greater than {self.sim.now}"
             )
         self.sim.run(until=duration_ns)
         self.duration_ns = duration_ns

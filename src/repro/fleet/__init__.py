@@ -1,0 +1,42 @@
+"""repro.fleet — parallel experiment execution with caching and telemetry.
+
+The fleet turns any batch of experiment/sweep/spec runs into a
+deterministic parallel job:
+
+``repro.fleet.tasks``      serializable :class:`RunTask` + content hash,
+                           per-kind executor registry
+``repro.fleet.pool``       :class:`FleetPool` — multiprocessing executor
+                           with retries, crash recovery and timeouts
+``repro.fleet.cache``      :class:`ResultCache` — content-addressed
+                           on-disk JSON result store
+``repro.fleet.telemetry``  :class:`FleetTelemetry` — progress, throughput
+                           (sim-s/wall-s) and JSONL event export
+
+Determinism contract: for fixed seeds, serial and parallel execution of
+the same task batch produce identical result values (see
+``docs/fleet.md`` and ``tests/fleet/test_determinism.py``).
+"""
+
+from repro.fleet.cache import ResultCache, default_cache_dir
+from repro.fleet.pool import FleetPool, default_start_method
+from repro.fleet.tasks import (
+    RunTask,
+    TaskResult,
+    execute_task,
+    register_runner,
+    runner_for,
+)
+from repro.fleet.telemetry import FleetTelemetry
+
+__all__ = [
+    "FleetPool",
+    "FleetTelemetry",
+    "ResultCache",
+    "RunTask",
+    "TaskResult",
+    "default_cache_dir",
+    "default_start_method",
+    "execute_task",
+    "register_runner",
+    "runner_for",
+]

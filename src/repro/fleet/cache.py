@@ -1,0 +1,97 @@
+"""On-disk result cache keyed by task content hash.
+
+Each entry is one JSON file named ``<content-hash>.json`` holding the
+task description, the code version that produced it, and the result
+value. Because :meth:`RunTask.content_hash` already salts the digest with
+:data:`repro.__version__`, a version bump simply makes every old entry
+unreachable; the stored ``version`` field is checked anyway as a second
+line of defence (e.g. against a hand-edited file).
+
+The cache is deliberately dumb: no locking beyond atomic rename, no
+eviction, no size budget. Entries are tiny (metric rows, rendered
+tables) and a ``clear()`` wipes the directory.
+
+Byte-identity note: values round-trip through ``json``; Python's float
+formatting is shortest-repr exact, so ``loads(dumps(x)) == x`` for every
+finite float and NaN survives via the (non-strict, default-enabled)
+``NaN`` literal. A cache hit therefore reproduces the cold-run value
+exactly — asserted by ``tests/fleet/test_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.fleet.tasks import RunTask
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-fleet``, else ``~/.cache/repro-fleet``."""
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        return Path(explicit)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-fleet"
+
+
+class ResultCache:
+    """Content-addressed store of task results under one directory."""
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+
+    def path_for(self, task: RunTask) -> Path:
+        return self.directory / f"{task.content_hash()}.json"
+
+    def get(self, task: RunTask) -> Optional[Any]:
+        """The cached value for ``task``, or None on miss/corruption."""
+        from repro import __version__
+
+        path = self.path_for(task)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("version") != __version__:
+            return None
+        return entry.get("value")
+
+    def put(self, task: RunTask, value: Any) -> Path:
+        """Store ``value`` for ``task`` (atomic write-then-rename)."""
+        from repro import __version__
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(task)
+        entry = {"version": __version__, "task": task.to_dict(), "value": value}
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(entry, indent=2))
+        tmp.replace(path)
+        return path
+
+    def invalidate(self, task: RunTask) -> bool:
+        """Drop one entry; True if it existed."""
+        path = self.path_for(task)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted."""
+        if not self.directory.is_dir():
+            return 0
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json")) if self.directory.is_dir() else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResultCache dir={self.directory} entries={len(self)}>"

@@ -1,0 +1,250 @@
+"""Worker-pool execution of :class:`~repro.fleet.tasks.RunTask` batches.
+
+``FleetPool(jobs=N)`` fans a task list out over ``N`` worker processes;
+``jobs=1`` degrades gracefully to plain in-process execution (no fork, no
+pickling — what the test suite and single-shot CLI calls use). Either
+way the contract is the same:
+
+* **determinism** — results come back in task order, and each task is a
+  pure function of its own content (fresh ``Simulator`` from the task's
+  seed), so serial and parallel runs produce identical values;
+* **bounded retry** — a task that raises is re-attempted up to
+  ``retries`` more times; a task whose worker *dies* (segfault,
+  ``os._exit``, OOM-kill) is charged an attempt and the whole pool is
+  rebuilt with fresh workers before anything is retried;
+* **per-task result deadline** — with ``timeout_s`` set, waiting more
+  than that on a task's result counts as a failed attempt (the pool is
+  also rebuilt, since the stuck worker would otherwise hold its slot);
+* **cache integration** — with a :class:`~repro.fleet.cache.ResultCache`,
+  hits skip execution entirely and fresh results are written back.
+
+Failures never raise out of :meth:`FleetPool.run`: every task gets a
+:class:`TaskResult` with ``ok`` set accordingly, and callers decide what
+a failure means for them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import Optional, Sequence
+
+from repro.errors import FleetError
+from repro.fleet.cache import ResultCache
+from repro.fleet.tasks import RunTask, TaskResult, execute_task, result_sim_ns
+from repro.fleet.telemetry import FleetTelemetry
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap workers), else ``spawn``."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def _worker_execute(task: RunTask) -> dict:
+    """Top-level (pickle-reachable) worker entry point."""
+    started = time.perf_counter()
+    value = execute_task(task)
+    return {"value": value, "wall_s": time.perf_counter() - started}
+
+
+class FleetPool:
+    """A configurable executor for batches of :class:`RunTask`."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if jobs < 1:
+            raise FleetError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise FleetError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.start_method = start_method or default_start_method()
+
+    # -- public API --------------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Sequence[RunTask],
+        cache: Optional[ResultCache] = None,
+        telemetry: Optional[FleetTelemetry] = None,
+    ) -> list[TaskResult]:
+        """Execute ``tasks``; returns one :class:`TaskResult` per task, in order."""
+        telemetry = telemetry if telemetry is not None else FleetTelemetry()
+        telemetry.start(len(tasks))
+        results: list[Optional[TaskResult]] = [None] * len(tasks)
+
+        for index, task in enumerate(tasks):
+            if cache is None:
+                continue
+            value = cache.get(task)
+            if value is not None:
+                results[index] = TaskResult(
+                    task_hash=task.content_hash(),
+                    name=task.name,
+                    ok=True,
+                    value=value,
+                    sim_ns=result_sim_ns(value),
+                    from_cache=True,
+                )
+                telemetry.on_result(results[index])
+
+        pending = [i for i, r in enumerate(results) if r is None]
+        if pending:
+            if self.jobs == 1:
+                for index in pending:
+                    results[index] = self._run_one_inprocess(tasks[index], telemetry)
+                    telemetry.on_result(results[index])
+            else:
+                self._run_parallel(tasks, pending, results, telemetry)
+
+        if cache is not None:
+            for task, result in zip(tasks, results):
+                if result is not None and result.ok and not result.from_cache:
+                    cache.put(task, result.value)
+
+        telemetry.finish()
+        return results  # type: ignore[return-value] — every slot is filled above
+
+    # -- serial path -------------------------------------------------------------
+
+    def _run_one_inprocess(self, task: RunTask, telemetry: FleetTelemetry) -> TaskResult:
+        task_hash = task.content_hash()
+        attempts = 0
+        while True:
+            attempts += 1
+            started = time.perf_counter()
+            try:
+                value = execute_task(task)
+            except Exception as exc:  # noqa: BLE001 — task errors become results
+                if attempts > self.retries:
+                    return TaskResult(
+                        task_hash=task_hash,
+                        name=task.name,
+                        ok=False,
+                        error=f"{type(exc).__name__}: {exc}",
+                        wall_s=time.perf_counter() - started,
+                        attempts=attempts,
+                    )
+                telemetry.retries += 1
+            else:
+                return TaskResult(
+                    task_hash=task_hash,
+                    name=task.name,
+                    ok=True,
+                    value=value,
+                    wall_s=time.perf_counter() - started,
+                    sim_ns=result_sim_ns(value),
+                    attempts=attempts,
+                )
+
+    # -- parallel path -----------------------------------------------------------
+
+    def _run_parallel(
+        self,
+        tasks: Sequence[RunTask],
+        pending: list[int],
+        results: list[Optional[TaskResult]],
+        telemetry: FleetTelemetry,
+    ) -> None:
+        context = multiprocessing.get_context(self.start_method)
+        queue = list(pending)
+        attempts = {index: 0 for index in pending}
+        executor: Optional[ProcessPoolExecutor] = None
+
+        def settle(index: int, error: str) -> None:
+            """Charge a failed attempt: retry if budget remains, else record."""
+            if attempts[index] > self.retries:
+                results[index] = TaskResult(
+                    task_hash=tasks[index].content_hash(),
+                    name=tasks[index].name,
+                    ok=False,
+                    error=error,
+                    attempts=attempts[index],
+                )
+                telemetry.on_result(results[index])
+            else:
+                telemetry.retries += 1
+                queue.append(index)
+
+        try:
+            while queue:
+                if executor is None:
+                    executor = ProcessPoolExecutor(
+                        max_workers=min(self.jobs, len(queue)), mp_context=context
+                    )
+                batch, queue = queue, []
+                futures = []
+                for index in batch:
+                    attempts[index] += 1
+                    futures.append((executor.submit(_worker_execute, tasks[index]), index))
+
+                rebuild = False
+                for future, index in futures:
+                    if rebuild:
+                        # The executor already broke (or a worker is stuck):
+                        # salvage results that finished, requeue the rest
+                        # without charging them an attempt.
+                        if future.done() and not future.cancelled():
+                            try:
+                                payload = future.result(timeout=0)
+                            except Exception:  # noqa: BLE001 — died with the pool
+                                attempts[index] -= 1
+                                queue.append(index)
+                            else:
+                                self._record_ok(tasks, index, payload, attempts, results, telemetry)
+                        else:
+                            future.cancel()
+                            attempts[index] -= 1
+                            queue.append(index)
+                        continue
+                    try:
+                        payload = future.result(timeout=self.timeout_s)
+                    except FutureTimeout:
+                        future.cancel()
+                        settle(index, f"timed out after {self.timeout_s}s")
+                        rebuild = True
+                    except BrokenProcessPool:
+                        telemetry.worker_crashes += 1
+                        settle(index, "worker process crashed")
+                        rebuild = True
+                    except Exception as exc:  # noqa: BLE001 — task raised normally
+                        settle(index, f"{type(exc).__name__}: {exc}")
+                    else:
+                        self._record_ok(tasks, index, payload, attempts, results, telemetry)
+
+                if rebuild:
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = None
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True, cancel_futures=True)
+
+    @staticmethod
+    def _record_ok(
+        tasks: Sequence[RunTask],
+        index: int,
+        payload: dict,
+        attempts: dict[int, int],
+        results: list[Optional[TaskResult]],
+        telemetry: FleetTelemetry,
+    ) -> None:
+        value = payload["value"]
+        results[index] = TaskResult(
+            task_hash=tasks[index].content_hash(),
+            name=tasks[index].name,
+            ok=True,
+            value=value,
+            wall_s=payload["wall_s"],
+            sim_ns=result_sim_ns(value),
+            attempts=attempts[index],
+        )
+        telemetry.on_result(results[index])

@@ -1,0 +1,197 @@
+"""Serializable run descriptions: the unit of work the fleet executes.
+
+A :class:`RunTask` captures *what* to run — a sweep point, a declarative
+spec, a canonical experiment — as plain JSON-able data, never as live
+objects. That buys three things at once:
+
+* **portability** — tasks pickle cheaply into worker processes;
+* **addressability** — :meth:`RunTask.content_hash` is a stable digest of
+  the task content plus the code version, so identical work is
+  recognizable across runs (the key of :mod:`repro.fleet.cache`);
+* **determinism** — a task carries its own seed and parameters, and its
+  executor builds a fresh :class:`~repro.sim.kernel.Simulator` from
+  nothing else, so the result is a pure function of the task.
+
+Executors are registered per ``kind`` with :func:`register_runner`; the
+built-in kinds are ``sweep-point``, ``spec`` and ``experiment``. An
+executor returns a JSON-able dict (it must round-trip through
+``json.dumps``/``loads`` unchanged — the cache stores it that way) and
+should include a ``sim_ns`` entry so telemetry can report simulated
+seconds per wall second.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import FleetError
+
+
+@dataclass
+class RunTask:
+    """One self-contained unit of work with a stable content hash."""
+
+    kind: str
+    name: str
+    seed: Optional[int] = None
+    duration_ns: Optional[int] = None
+    payload: dict = field(default_factory=dict)
+    overrides: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "RunTask":
+        unknown = set(raw) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise FleetError(f"unknown RunTask keys: {sorted(unknown)}")
+        return cls(**raw)
+
+    def content_hash(self) -> str:
+        """Stable digest of the task content, salted with the code version.
+
+        Bumping :data:`repro.__version__` therefore invalidates every
+        cached result at once — a coarse but sound "code changed, redo
+        the work" rule.
+        """
+        from repro import __version__
+
+        blob = json.dumps(
+            {"task": self.to_dict(), "code_version": __version__},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task: value or error, plus execution bookkeeping."""
+
+    task_hash: str
+    name: str
+    ok: bool
+    value: Any = None
+    error: str = ""
+    wall_s: float = 0.0
+    sim_ns: int = 0
+    attempts: int = 1
+    from_cache: bool = False
+
+
+#: kind -> executor. Executors take a RunTask and return a JSON-able dict.
+_RUNNERS: dict[str, Callable[[RunTask], dict]] = {}
+
+
+def register_runner(kind: str) -> Callable:
+    """Decorator registering an executor for a task ``kind``."""
+
+    def decorate(fn: Callable[[RunTask], dict]) -> Callable[[RunTask], dict]:
+        _RUNNERS[kind] = fn
+        return fn
+
+    return decorate
+
+
+def runner_for(kind: str) -> Callable[[RunTask], dict]:
+    try:
+        return _RUNNERS[kind]
+    except KeyError:
+        raise FleetError(
+            f"no runner registered for task kind {kind!r}; known kinds: {sorted(_RUNNERS)}"
+        ) from None
+
+
+def execute_task(task: RunTask) -> dict:
+    """Run a task in-process and return its JSON-able result value."""
+    return runner_for(task.kind)(task)
+
+
+def result_sim_ns(value: Any) -> int:
+    """Simulated nanoseconds a result value reports (0 when unknown)."""
+    if isinstance(value, dict):
+        sim_ns = value.get("sim_ns", 0)
+        if isinstance(sim_ns, (int, float)):
+            return int(sim_ns)
+    return 0
+
+
+# -- built-in task kinds ---------------------------------------------------------
+#
+# The imports below are deliberately lazy: repro.experiments.sweeps and
+# repro.cli import this package at module level, so importing them here at
+# import time would be circular. Executors only pay the import on first use
+# (once per worker process).
+
+
+@register_runner("sweep-point")
+def _run_sweep_point(task: RunTask) -> dict:
+    """Execute one sweep point (see ``repro.experiments.sweeps``)."""
+    from repro.experiments import sweeps
+
+    sweep_name = task.payload.get("sweep")
+    point_fn = sweeps.POINT_FUNCTIONS.get(sweep_name)
+    if point_fn is None:
+        raise FleetError(
+            f"unknown sweep {sweep_name!r}; choose from {sorted(sweeps.POINT_FUNCTIONS)}"
+        )
+    kwargs = dict(task.payload.get("kwargs", {}))
+    point = point_fn(**kwargs)
+    return {
+        "point": {
+            "parameter": point.parameter,
+            "value": point.value,
+            "metrics": dict(point.metrics),
+            "sim_ns": point.sim_ns,
+        },
+        "sim_ns": point.sim_ns,
+    }
+
+
+@register_runner("spec")
+def _run_spec(task: RunTask) -> dict:
+    """Execute a declarative experiment spec (``repro.experiments.spec``)."""
+    from repro.experiments.figures import DriftFigureResult
+    from repro.experiments.spec import ExperimentSpec
+
+    spec = ExperimentSpec.from_dict(dict(task.payload["spec"]))
+    experiment = spec.run()
+    result = DriftFigureResult(experiment=experiment, duration_ns=spec.duration_ns)
+    return {
+        "spec": spec.name,
+        "rendered": result.render(
+            f"spec: {spec.name} ({spec.protocol}, {spec.duration_s:.0f}s)"
+        ),
+        "frequencies_mhz": result.frequencies_mhz(),
+        "availability": result.availability(),
+        "sim_ns": spec.duration_ns,
+    }
+
+
+@register_runner("experiment")
+def _run_experiment(task: RunTask) -> dict:
+    """Execute one canonical experiment from the CLI registry."""
+    from repro.cli import _EXPERIMENTS
+
+    name = task.payload.get("experiment")
+    if name not in _EXPERIMENTS:
+        raise FleetError(f"unknown experiment {name!r}; choose from {sorted(_EXPERIMENTS)}")
+    description, default_duration, runner = _EXPERIMENTS[name]
+    if default_duration is None:
+        # fig1 / inc / ablation: built-in seed and span, no knobs.
+        result = runner(None)
+        sim_ns = 0
+    else:
+        duration_ns = task.duration_ns or default_duration
+        kwargs = {} if task.seed is None else {"seed": task.seed}
+        result = runner(duration_ns=duration_ns, **kwargs)
+        sim_ns = duration_ns
+    try:
+        rendered = result.render()
+    except TypeError:
+        rendered = result.render(description)
+    return {"experiment": name, "rendered": rendered, "sim_ns": sim_ns}

@@ -1,0 +1,145 @@
+"""Run telemetry: progress, throughput and failure accounting for a batch.
+
+One :class:`FleetTelemetry` instance observes one
+:meth:`~repro.fleet.pool.FleetPool.run` call. The pool feeds it a
+:class:`~repro.fleet.tasks.TaskResult` per finished task (and pokes the
+``retries``/``worker_crashes`` counters on abnormal events); it keeps
+
+* **progress** — completed / cached / failed counts against the total,
+  rendered live to a stream (the CLI passes ``sys.stderr`` so stdout
+  stays byte-identical across ``--jobs`` settings);
+* **throughput** — simulated seconds per wall second, the honest speed
+  metric for a simulation fleet (wall time alone says nothing about how
+  much work a task represented);
+* **a JSONL event log** — one record per task plus a closing summary,
+  exportable with :meth:`write_jsonl` for offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO, Optional
+
+from repro.fleet.tasks import TaskResult
+
+
+class FleetTelemetry:
+    """Counters and event log for one fleet batch."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self.stream = stream
+        self.total = 0
+        self.completed = 0
+        self.failed = 0
+        self.cache_hits = 0
+        self.retries = 0
+        self.worker_crashes = 0
+        self.sim_ns = 0
+        self.events: list[dict] = []
+        self._started: Optional[float] = None
+        self._finished: Optional[float] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self, total: int) -> None:
+        self.total = total
+        self._started = time.perf_counter()
+        self._finished = None
+
+    def on_result(self, result: TaskResult) -> None:
+        """Record one finished task (cached, computed, or failed)."""
+        if result.ok:
+            self.completed += 1
+            if result.from_cache:
+                self.cache_hits += 1
+        else:
+            self.failed += 1
+        self.sim_ns += result.sim_ns
+        self.events.append(
+            {
+                "event": "task",
+                "task": result.name,
+                "hash": result.task_hash,
+                "ok": result.ok,
+                "from_cache": result.from_cache,
+                "attempts": result.attempts,
+                "wall_s": round(result.wall_s, 6),
+                "sim_ns": result.sim_ns,
+                "error": result.error,
+            }
+        )
+        if self.stream is not None:
+            print(self.progress_line(), file=self.stream, flush=True)
+
+    def finish(self) -> None:
+        self._finished = time.perf_counter()
+        self.events.append({"event": "summary", **self.summary()})
+
+    # -- derived metrics ---------------------------------------------------------
+
+    @property
+    def done(self) -> int:
+        return self.completed + self.failed
+
+    @property
+    def wall_s(self) -> float:
+        if self._started is None:
+            return 0.0
+        end = self._finished if self._finished is not None else time.perf_counter()
+        return end - self._started
+
+    def throughput(self) -> float:
+        """Simulated seconds advanced per wall second (0 when idle)."""
+        wall = self.wall_s
+        return (self.sim_ns / 1e9) / wall if wall > 0 else 0.0
+
+    # -- rendering ---------------------------------------------------------------
+
+    def progress_line(self) -> str:
+        parts = [
+            f"fleet {self.done}/{self.total}",
+            f"{self.cache_hits} cached",
+            f"{self.failed} failed",
+        ]
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.worker_crashes:
+            parts.append(f"{self.worker_crashes} crashes")
+        parts.append(f"{self.throughput():.0f} sim-s/wall-s")
+        return " · ".join(parts)
+
+    def summary(self) -> dict:
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cache_hits": self.cache_hits,
+            "retries": self.retries,
+            "worker_crashes": self.worker_crashes,
+            "sim_ns": self.sim_ns,
+            "wall_s": round(self.wall_s, 6),
+            "sim_s_per_wall_s": round(self.throughput(), 3),
+        }
+
+    def render_summary(self) -> str:
+        line = (
+            f"fleet: {self.completed}/{self.total} tasks ok "
+            f"({self.cache_hits} cache hits, {self.failed} failed) "
+            f"in {self.wall_s:.2f}s wall — {self.throughput():.0f} sim-s/wall-s"
+        )
+        if self.retries or self.worker_crashes:
+            line += f" [{self.retries} retries, {self.worker_crashes} worker crashes]"
+        return line
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write the event log (one JSON object per line) to ``path``."""
+        target = Path(path)
+        if target.parent != Path("."):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        events = self.events
+        if not events or events[-1].get("event") != "summary":
+            events = events + [{"event": "summary", **self.summary()}]
+        target.write_text("".join(json.dumps(event) + "\n" for event in events))
+        return target

@@ -1,0 +1,41 @@
+"""Tests for the Experiment harness itself (not the scenarios it wires)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.spec import ExperimentSpec
+from repro.sim.units import SECOND
+
+
+def _small_experiment():
+    spec = ExperimentSpec(
+        name="runner-test",
+        seed=11,
+        duration_s=5,
+        nodes=1,
+        machine_wide_mean_s=None,
+    )
+    return spec.run()
+
+
+class TestRunRewindDiagnostics:
+    def test_rewind_error_reports_duration_and_now(self):
+        experiment = _small_experiment()
+        assert experiment.sim.now == 5 * SECOND
+        with pytest.raises(ConfigurationError) as excinfo:
+            experiment.run(duration_ns=1 * SECOND)
+        message = str(excinfo.value)
+        assert f"duration_ns={1 * SECOND}" in message
+        assert f"sim.now={experiment.sim.now}" in message
+        assert "rewind" in message
+        assert "runner-test" in message
+
+    def test_equal_duration_also_rejected(self):
+        experiment = _small_experiment()
+        with pytest.raises(ConfigurationError, match="cannot rewind"):
+            experiment.run(duration_ns=experiment.sim.now)
+
+    def test_forward_run_still_works(self):
+        experiment = _small_experiment()
+        experiment.run(duration_ns=6 * SECOND)
+        assert experiment.duration_ns == 6 * SECOND

@@ -1,0 +1,75 @@
+"""Tests for the on-disk result cache."""
+
+import json
+import math
+
+import repro
+from repro.fleet.cache import ResultCache, default_cache_dir
+from repro.fleet.tasks import RunTask
+
+
+def _task(**payload):
+    return RunTask(kind="spec", name="cache-test", seed=1, payload=payload)
+
+
+class TestResultCache:
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(_task(p=1)) is None
+        assert len(cache) == 0
+
+    def test_put_then_get_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        value = {"metrics": {"skew": 0.9001234567890123, "count": 3}, "sim_ns": 90}
+        cache.put(_task(p=1), value)
+        assert cache.get(_task(p=1)) == value
+        assert len(cache) == 1
+
+    def test_float_values_roundtrip_exactly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        exact = 0.1 + 0.2  # 0.30000000000000004 — must survive bit-for-bit
+        cache.put(_task(p=2), {"x": exact})
+        assert cache.get(_task(p=2))["x"] == exact
+
+    def test_nan_survives(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_task(p=3), {"x": float("nan")})
+        assert math.isnan(cache.get(_task(p=3))["x"])
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_task(p=4), {"x": 1})
+        cache.path_for(_task(p=4)).write_text("{not json")
+        assert cache.get(_task(p=4)) is None
+
+    def test_version_mismatch_is_a_miss(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        task = _task(p=5)
+        path = cache.put(task, {"x": 1})
+        entry = json.loads(path.read_text())
+        entry["version"] = "0.0.0-stale"
+        path.write_text(json.dumps(entry))
+        assert cache.get(task) is None
+
+    def test_version_bump_changes_the_key(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        task = _task(p=6)
+        cache.put(task, {"x": 1})
+        monkeypatch.setattr(repro, "__version__", "9.9.9-test")
+        assert cache.get(task) is None  # hash moved with the version
+
+    def test_invalidate_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_task(p=7), {"x": 1})
+        cache.put(_task(p=8), {"x": 2})
+        assert cache.invalidate(_task(p=7)) is True
+        assert cache.invalidate(_task(p=7)) is False
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_default_dir_honours_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro-fleet"

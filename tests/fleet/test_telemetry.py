@@ -1,0 +1,104 @@
+"""Tests for fleet run telemetry."""
+
+import io
+import json
+
+from repro.fleet.tasks import TaskResult
+from repro.fleet.telemetry import FleetTelemetry
+
+
+def _result(name="t", ok=True, cached=False, sim_ns=0, attempts=1, error=""):
+    return TaskResult(
+        task_hash="deadbeef",
+        name=name,
+        ok=ok,
+        value={"sim_ns": sim_ns} if ok else None,
+        error=error,
+        sim_ns=sim_ns,
+        attempts=attempts,
+        from_cache=cached,
+    )
+
+
+class TestCounters:
+    def test_counts_completed_cached_and_failed(self):
+        telemetry = FleetTelemetry()
+        telemetry.start(4)
+        telemetry.on_result(_result("a", sim_ns=1_000_000_000))
+        telemetry.on_result(_result("b", cached=True, sim_ns=2_000_000_000))
+        telemetry.on_result(_result("c", ok=False, error="boom"))
+        assert telemetry.done == 3
+        assert telemetry.completed == 2
+        assert telemetry.cache_hits == 1
+        assert telemetry.failed == 1
+        assert telemetry.sim_ns == 3_000_000_000
+
+    def test_throughput_is_sim_seconds_per_wall_second(self):
+        telemetry = FleetTelemetry()
+        telemetry.start(1)
+        telemetry.on_result(_result(sim_ns=5_000_000_000))
+        telemetry.finish()
+        assert telemetry.throughput() > 0
+        assert telemetry.summary()["sim_ns"] == 5_000_000_000
+
+    def test_idle_telemetry_reports_zero(self):
+        telemetry = FleetTelemetry()
+        assert telemetry.wall_s == 0.0
+        assert telemetry.throughput() == 0.0
+
+
+class TestRendering:
+    def test_progress_line_mentions_counts(self):
+        telemetry = FleetTelemetry()
+        telemetry.start(3)
+        telemetry.on_result(_result(cached=True))
+        line = telemetry.progress_line()
+        assert "fleet 1/3" in line
+        assert "1 cached" in line
+
+    def test_live_stream_receives_progress(self):
+        stream = io.StringIO()
+        telemetry = FleetTelemetry(stream=stream)
+        telemetry.start(2)
+        telemetry.on_result(_result())
+        telemetry.on_result(_result())
+        assert stream.getvalue().count("fleet ") == 2
+
+    def test_summary_mentions_cache_hits_and_crashes(self):
+        telemetry = FleetTelemetry()
+        telemetry.start(2)
+        telemetry.on_result(_result(cached=True))
+        telemetry.on_result(_result(ok=False, error="x"))
+        telemetry.retries = 2
+        telemetry.worker_crashes = 1
+        telemetry.finish()
+        line = telemetry.render_summary()
+        assert "1 cache hits" in line
+        assert "1 failed" in line
+        assert "2 retries" in line
+        assert "1 worker crashes" in line
+
+
+class TestJsonl:
+    def test_writes_one_record_per_task_plus_summary(self, tmp_path):
+        telemetry = FleetTelemetry()
+        telemetry.start(2)
+        telemetry.on_result(_result("a", sim_ns=1_000_000_000))
+        telemetry.on_result(_result("b", ok=False, error="boom", attempts=2))
+        telemetry.finish()
+        path = telemetry.write_jsonl(tmp_path / "runs" / "telemetry.jsonl")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["event"] for r in records] == ["task", "task", "summary"]
+        assert records[0]["task"] == "a"
+        assert records[1]["error"] == "boom"
+        assert records[1]["attempts"] == 2
+        assert records[2]["total"] == 2
+        assert records[2]["cache_hits"] == 0
+
+    def test_summary_appended_if_finish_not_called(self, tmp_path):
+        telemetry = FleetTelemetry()
+        telemetry.start(1)
+        telemetry.on_result(_result())
+        path = telemetry.write_jsonl(tmp_path / "t.jsonl")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records[-1]["event"] == "summary"

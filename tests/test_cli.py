@@ -68,6 +68,102 @@ class TestSweep:
             cli_main(["sweep", "bogus"])
 
 
+class TestSweepFleetFlags:
+    def test_sweep_seed_and_export_write_csv(self, capsys, tmp_path):
+        target = tmp_path / "csv"
+        assert main([
+            "sweep", "jitter", "--limit", "1", "--seed", "900",
+            "--export", str(target), "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "jitter_sigma" in out
+        csv_path = target / "sweep_jitter.csv"
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header == "jitter_sigma,mean_abs_error_ppm,error_spread_ppm"
+
+    def test_sweep_second_run_served_from_cache(self, capsys, tmp_path):
+        argv = [
+            "sweep", "jitter", "--limit", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out  # byte-identical table
+        assert "1 cache hits" in second.err
+
+    def test_sweep_no_cache_recomputes(self, capsys, tmp_path):
+        argv = [
+            "sweep", "jitter", "--limit", "1", "--no-cache",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        assert "0 cache hits" in capsys.readouterr().err
+
+    def test_sweep_telemetry_jsonl(self, capsys, tmp_path):
+        import json
+
+        jsonl = tmp_path / "telemetry.jsonl"
+        assert main([
+            "sweep", "jitter", "--limit", "1", "--no-cache",
+            "--telemetry", str(jsonl),
+        ]) == 0
+        records = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert records[0]["event"] == "task"
+        assert records[-1]["event"] == "summary"
+        assert records[-1]["completed"] == 1
+
+    def test_sweep_rejects_jobs_below_one(self, capsys):
+        assert main(["sweep", "jitter", "--limit", "1", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_sweep_rejects_limit_below_one(self, capsys):
+        assert main(["sweep", "jitter", "--limit", "0"]) == 2
+        assert "--limit must be >= 1" in capsys.readouterr().err
+
+    def test_reproduce_rejects_jobs_below_one(self, capsys):
+        assert main(["reproduce", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+
+class TestBatch:
+    @staticmethod
+    def _write_spec(directory, name, seed):
+        import json
+
+        (directory / f"{name}.json").write_text(json.dumps({
+            "name": name,
+            "seed": seed,
+            "duration_s": 8,
+            "nodes": 1,
+            "machine_wide_mean_s": None,
+        }))
+
+    def test_batch_runs_every_spec(self, capsys, tmp_path):
+        specs = tmp_path / "specs"
+        specs.mkdir()
+        self._write_spec(specs, "batch-a", 1)
+        self._write_spec(specs, "batch-b", 2)
+        assert main(["batch", str(specs), "--cache-dir", str(tmp_path / "cache")]) == 0
+        captured = capsys.readouterr()
+        assert "batch-a" in captured.out
+        assert "batch-b" in captured.out
+        assert "batch summary" in captured.out
+        assert "fleet: 2/2 tasks ok" in captured.err
+
+    def test_batch_empty_directory_fails(self, capsys, tmp_path):
+        assert main(["batch", str(tmp_path)]) == 1
+        assert "no spec JSONs" in capsys.readouterr().err
+
+    def test_batch_invalid_spec_fails_before_running(self, capsys, tmp_path):
+        (tmp_path / "bad.json").write_text('{"name": "x", "bogus_key": 1}')
+        assert main(["batch", str(tmp_path)]) == 1
+        assert "invalid spec" in capsys.readouterr().err
+
+
 class TestRunSpec:
     def test_run_spec_from_file(self, capsys, tmp_path):
         import json
