@@ -12,12 +12,15 @@ after (or during) a run.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 from repro.analysis.report import to_csv
 from repro.core.node import TriadNode
 from repro.errors import ConfigurationError
+from repro.oracle.violations import Violation
 from repro.sim.units import SECOND
 
 #: Known event kinds, in rendering-priority order.
@@ -30,6 +33,7 @@ EVENT_KINDS = (
     "untaint-clique",
     "full-calibration",
     "monitor-alert",
+    "oracle-violation",
     "state-change",
 )
 
@@ -89,6 +93,50 @@ def node_events(node: TriadNode, include_states: bool = False) -> list[ProtocolE
     return events
 
 
+def violation_events(violations: Iterable[Violation]) -> list[ProtocolEvent]:
+    """Oracle violations as journal events, mergeable with node streams."""
+    return [
+        ProtocolEvent(
+            violation.time_ns,
+            violation.node,
+            "oracle-violation",
+            f"{violation.invariant} [{violation.severity}] {violation.detail}".rstrip(),
+        )
+        for violation in violations
+    ]
+
+
+def write_violations_jsonl(violations: Iterable[Violation], path: str | Path) -> Path:
+    """Write violation records as JSONL (one record per line)."""
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        "".join(json.dumps(violation.to_dict(), sort_keys=True) + "\n" for violation in violations)
+    )
+    return target
+
+
+def read_violations_jsonl(path: str | Path) -> list[Violation]:
+    """Inverse of :func:`write_violations_jsonl` (loss-free round-trip)."""
+    violations: list[Violation] = []
+    for line_number, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"{path}:{line_number}: invalid JSON: {exc}") from exc
+        try:
+            violations.append(Violation.from_dict(raw))
+        except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
+            raise ConfigurationError(
+                f"{path}:{line_number}: invalid violation record: {exc}"
+            ) from exc
+    return violations
+
+
 class EventJournal:
     """A merged, queryable event stream over one or more nodes."""
 
@@ -96,13 +144,24 @@ class EventJournal:
         self.events = sorted(events, key=lambda event: (event.time_ns, event.node, event.kind))
 
     @classmethod
-    def of(cls, nodes: Sequence[TriadNode], include_states: bool = False) -> "EventJournal":
-        """Build the cluster-wide journal from node statistics."""
+    def of(
+        cls,
+        nodes: Sequence[TriadNode],
+        include_states: bool = False,
+        violations: Optional[Iterable[Violation]] = None,
+    ) -> "EventJournal":
+        """Build the cluster-wide journal from node statistics.
+
+        ``violations`` (e.g. an oracle's findings) are merged into the
+        stream as ``oracle-violation`` events.
+        """
         if not nodes:
             raise ConfigurationError("journal needs at least one node")
         merged: list[ProtocolEvent] = []
         for node in nodes:
             merged.extend(node_events(node, include_states=include_states))
+        if violations is not None:
+            merged.extend(violation_events(violations))
         return cls(merged)
 
     # -- querying ------------------------------------------------------------

@@ -57,6 +57,19 @@ _SWEEP_METRICS: dict[str, list[str]] = {
 }
 
 
+def _add_oracle_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--oracle",
+        choices=("off", "warn", "strict"),
+        default="off",
+        help=(
+            "invariant oracle mode: 'warn' reports violations on stderr, "
+            "'strict' also exits nonzero on violations outside the "
+            "scenario's expected set"
+        ),
+    )
+
+
 def _add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes (1 = in-process, the default)"
@@ -72,6 +85,7 @@ def _add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--telemetry", metavar="FILE", default=None, help="write per-task JSONL records to FILE"
     )
+    _add_oracle_argument(parser)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -90,6 +104,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--duration-s", type=float, default=None, help="override the run duration (seconds)"
     )
     run.add_argument("--export", metavar="DIR", default=None, help="write series CSVs to DIR")
+    _add_oracle_argument(run)
 
     sweep = sub.add_parser("sweep", help="run a parameter sweep")
     sweep.add_argument("sweep_name", choices=sorted(_SWEEP_METRICS))
@@ -109,8 +124,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run_spec = sub.add_parser("run-spec", help="run a JSON experiment spec")
     run_spec.add_argument("spec_path", help="path to the spec JSON file")
     run_spec.add_argument("--export", metavar="DIR", default=None, help="write series CSVs to DIR")
+    _add_oracle_argument(run_spec)
 
     reproduce = sub.add_parser("reproduce", help="run every experiment and print the summary")
+    reproduce.add_argument(
+        "--quick", action="store_true", help="scale durations down 4x (serial mode only)"
+    )
     _add_fleet_arguments(reproduce)
     return parser
 
@@ -143,6 +162,63 @@ def _finish_fleet(args, telemetry) -> None:
         print(f"wrote telemetry JSONL to {path}", file=sys.stderr)
 
 
+def _oracle_run(mode: str, fn: Callable):
+    """Run ``fn()`` under oracle ``mode``; returns ``(value, exit_code)``.
+
+    The serial-path counterpart of the fleet's per-task oracle handling
+    (see :func:`repro.fleet.tasks.execute_task`): the policy is installed
+    for the duration of the call, every oracle that clusters built along
+    the way gets finalized, and reports go to stderr so stdout stays
+    byte-identical to an oracle-off run. ``exit_code`` is 1 when strict
+    mode saw violations outside the expected set (``value`` is ``None``
+    if the run aborted), else 0.
+    """
+    if mode == "off":
+        return fn(), 0
+
+    from repro.errors import OracleViolationError
+    from repro.oracle import drain_created_oracles, oracle_policy
+
+    failure: Optional[OracleViolationError] = None
+    value = None
+    with oracle_policy(mode):
+        drain_created_oracles()
+        try:
+            value = fn()
+        except OracleViolationError as exc:
+            # Experiment.run raises as soon as one run's violations leave
+            # the expected set; oracles of earlier runs still get reported.
+            failure = exc
+        finally:
+            oracles = drain_created_oracles()
+
+    unexpected = 0
+    for oracle in oracles:
+        oracle.finalize()
+        if oracle.violations:
+            print(oracle.render_report(), file=sys.stderr)
+        unexpected += len(oracle.unexpected_violations())
+    if failure is not None:
+        print(f"oracle: {failure}", file=sys.stderr)
+        return None, 1
+    if unexpected and mode == "strict":
+        print(f"oracle: {unexpected} unexpected violation(s) in strict mode", file=sys.stderr)
+        return value, 1
+    return value, 0
+
+
+def _apply_oracle_override(tasks: list, mode: str) -> list:
+    """Stamp the oracle mode into each fleet task's overrides.
+
+    ``off`` leaves tasks untouched so their content hashes — and thus any
+    cached results from oracle-free runs — stay valid.
+    """
+    if mode != "off":
+        for task in tasks:
+            task.overrides["oracle"] = mode
+    return tasks
+
+
 def _sweep_tasks(name: str, seed: Optional[int]) -> list:
     from repro.attacks.delay import AttackMode
     from repro.experiments import sweeps
@@ -165,6 +241,7 @@ def _run_sweep(args) -> int:
     tasks = _sweep_tasks(args.sweep_name, args.seed)
     if args.limit is not None:
         tasks = tasks[: args.limit]
+    _apply_oracle_override(tasks, args.oracle)
     pool, cache, telemetry = _fleet_pieces(args)
     try:
         points = sweeps.run_point_tasks(tasks, pool=pool, cache=cache, telemetry=telemetry)
@@ -225,6 +302,7 @@ def _run_batch(args) -> int:
                 payload={"spec": raw},
             )
         )
+    _apply_oracle_override(tasks, args.oracle)
     pool, cache, telemetry = _fleet_pieces(args)
     results = pool.run(tasks, cache=cache, telemetry=telemetry)
     for result in results:
@@ -258,6 +336,7 @@ def _run_reproduce_fleet(args) -> int:
         RunTask(kind="experiment", name=name, payload={"experiment": name})
         for name in _EXPERIMENTS
     ]
+    _apply_oracle_override(tasks, args.oracle)
     pool, cache, telemetry = _fleet_pieces(args)
     results = pool.run(tasks, cache=cache, telemetry=telemetry)
     failed = False
@@ -311,7 +390,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 0
 
     if args.command == "run":
-        result = _run_experiment(args.experiment, args.seed, args.duration_s)
+        result, oracle_exit = _oracle_run(
+            args.oracle,
+            lambda: _run_experiment(args.experiment, args.seed, args.duration_s),
+        )
+        if result is None:
+            return oracle_exit
         _print_result(args.experiment, result)
         if args.export:
             from repro.analysis.export import export_experiment
@@ -321,7 +405,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             else:
                 paths = export_experiment(result, args.export)
                 print(f"\nwrote {len(paths)} CSV files to {args.export}/")
-        return 0
+        return oracle_exit
 
     if args.command == "sweep":
         return _run_sweep(args)
@@ -334,7 +418,9 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.experiments.spec import ExperimentSpec
 
         spec = ExperimentSpec.load(args.spec_path)
-        experiment = spec.run()
+        experiment, oracle_exit = _oracle_run(args.oracle, spec.run)
+        if experiment is None:
+            return oracle_exit
         result = DriftFigureResult(experiment=experiment, duration_ns=spec.duration_ns)
         print(result.render(f"spec: {spec.name} ({spec.protocol}, {spec.duration_s:.0f}s)"))
         if args.export:
@@ -342,7 +428,7 @@ def main(argv: Optional[list[str]] = None) -> int:
 
             paths = export_experiment(result, args.export)
             print(f"\nwrote {len(paths)} CSV files to {args.export}/")
-        return 0
+        return oracle_exit
 
     if args.command == "reproduce":
         invalid = _validate_fleet_flags(args)
@@ -355,18 +441,23 @@ def main(argv: Optional[list[str]] = None) -> int:
         from pathlib import Path
 
         script = Path(__file__).resolve().parents[2] / "examples" / "reproduce_paper.py"
-        if script.exists():
-            saved_argv = sys.argv
-            sys.argv = [str(script)]
-            try:
-                runpy.run_path(str(script), run_name="__main__")
-            finally:
-                sys.argv = saved_argv
-        else:  # installed without the examples tree: run the essentials
-            for name in ("fig1", "inc", "fig2", "fig6", "ablation"):
-                print(f"\n=== {name} ===")
-                _print_result(name, _run_experiment(name, None, None))
-        return 0
+
+        def reproduce_serial() -> bool:
+            if script.exists():
+                saved_argv = sys.argv
+                sys.argv = [str(script)] + (["--quick"] if args.quick else [])
+                try:
+                    runpy.run_path(str(script), run_name="__main__")
+                finally:
+                    sys.argv = saved_argv
+            else:  # installed without the examples tree: run the essentials
+                for name in ("fig1", "inc", "fig2", "fig6", "ablation"):
+                    print(f"\n=== {name} ===")
+                    _print_result(name, _run_experiment(name, None, None))
+            return True
+
+        _done, oracle_exit = _oracle_run(args.oracle, reproduce_serial)
+        return oracle_exit
 
     return 1  # pragma: no cover - argparse enforces valid commands
 

@@ -191,6 +191,15 @@ class TriadCluster:
             node.ta_names = list(ta_names)
             self.nodes.append(node)
         self.monitoring_cores = cores
+        #: Invariant oracle watching this deployment, per the process-wide
+        #: policy (None unless a policy is installed). Attaching here makes
+        #: coverage universal: every code path that wires a cluster — CLI
+        #: runs, sweeps, specs, fleet workers — is watched automatically.
+        #: (Imported lazily: repro.core.__init__ pulls this module in, so a
+        #: top-level import of repro.oracle.policy would be circular.)
+        from repro.oracle.policy import attach_from_policy
+
+        self.oracle = attach_from_policy(sim, self.nodes)
 
     def node(self, index: int) -> TriadNode:
         """The index-th node, 1-based to match the paper's numbering."""

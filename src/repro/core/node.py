@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.calibration import CalibrationSample, Calibrator, RegressionCalibrator
 from repro.core.clock import TrustedClock
+from repro.core.probes import ProbeEvent, ProbeHub
 from repro.core.states import NodeState, StateTimeline
 from repro.core.untaint import UntaintOutcome, apply_authority_untaint, apply_peer_untaint
 from repro.errors import CalibrationError, ProtocolError, ReproError
@@ -160,6 +161,8 @@ class TriadNode:
         )
         self.timeline = StateTimeline(sim.now, NodeState.FULL_CALIB)
         self.stats = NodeStats()
+        #: Observational tap for the invariant oracle (inert unless watched).
+        self.probes = ProbeHub()
 
         self._monitor_calibration: Optional[MonitorCalibration] = None
         self._monitor_alert = False
@@ -210,14 +213,32 @@ class TriadNode:
         if not self.available:
             raise NodeUnavailable(f"{self.name} is {self.state.value}")
         self.stats.timestamps_served += 1
-        return self.clock.serve_timestamp()
+        return self._serve_timestamp()
 
     def try_get_timestamp(self) -> Optional[int]:
         """Like :meth:`get_timestamp`, returning None when unavailable."""
         if not self.available:
             return None
         self.stats.timestamps_served += 1
-        return self.clock.serve_timestamp()
+        return self._serve_timestamp()
+
+    # -- instrumentation -----------------------------------------------------------
+
+    def _probe(self, kind: str, **data) -> None:
+        """Emit a probe event; free when nothing subscribed."""
+        if self.probes.active:
+            self.probes.emit(ProbeEvent(self.sim.now, self.name, kind, data))
+
+    def _serve_timestamp(self) -> int:
+        """Produce a client-visible timestamp through the probe tap."""
+        value = self.clock.serve_timestamp()
+        self._probe("serve", timestamp_ns=value)
+        return value
+
+    def _record_untaint(self, outcome: UntaintOutcome) -> None:
+        """Log an untaint outcome and surface it to the probes."""
+        self.stats.untaint_outcomes.append(outcome)
+        self._probe("untaint", outcome=outcome)
 
     def drift_ns(self) -> int:
         """Clock offset from reference time (analysis probe; needs calibration)."""
@@ -234,6 +255,7 @@ class TriadNode:
         else:
             state = NodeState.OK
         self.timeline.record(self.sim.now, state)
+        self._probe("state", state=state)
 
     # -- AEX handling ----------------------------------------------------------------
 
@@ -275,7 +297,7 @@ class TriadNode:
         if responses:
             outcome = apply_peer_untaint(self.clock, responses, self.sim.now)
             self.stats.peer_untaints += 1
-            self.stats.untaint_outcomes.append(outcome)
+            self._record_untaint(outcome)
             self._set_state()
             return
         yield from self._ref_calibration()
@@ -311,7 +333,7 @@ class TriadNode:
             sender,
             PeerTimeResponse(
                 request_id=request.request_id,
-                timestamp_ns=self.clock.serve_timestamp(),
+                timestamp_ns=self._serve_timestamp(),
             ),
         )
 
@@ -369,7 +391,7 @@ class TriadNode:
             self.stats.authority_untaints += 1
             self.stats.ta_references += 1
             self.stats.ta_reference_times_ns.append(self.sim.now)
-            self.stats.untaint_outcomes.append(outcome)
+            self._record_untaint(outcome)
             return
 
     def _ref_calibration(self):
@@ -398,6 +420,7 @@ class TriadNode:
             frequency = self.calibrator.estimate(samples)
             self.clock.set_frequency(frequency)
             self.stats.full_calibrations.append((self.sim.now, frequency))
+            self._probe("calibration", frequency_hz=frequency)
             yield from self._fetch_reference()
         finally:
             self._phase = None
@@ -505,6 +528,7 @@ class TriadNode:
     def _raise_monitor_alert(self) -> None:
         self.stats.monitor_alerts += 1
         self.stats.monitor_alert_times_ns.append(self.sim.now)
+        self._probe("monitor-alert")
         self._monitor_alert = True
         self.clock.taint()
         self._set_state()

@@ -1,0 +1,79 @@
+"""Probe instrumentation: observational taps on protocol participants.
+
+The invariant oracle (:mod:`repro.oracle`) must see what a node does —
+timestamps served, untaints applied, state transitions — *without*
+perturbing the simulation: injecting events or processes would shift the
+deterministic schedule and make oracle-on and oracle-off runs diverge.
+Probes solve this with plain synchronous callbacks: a node owns a
+:class:`ProbeHub`, emits a :class:`ProbeEvent` at each instrumented site,
+and subscribers observe in zero simulated time. With no subscribers the
+hub is inert (nodes guard emission on :attr:`ProbeHub.active`), so
+uninstrumented runs pay one attribute check per site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+#: Instrumented site kinds emitted by nodes.
+#:
+#: * ``serve`` — a client-visible timestamp left the node
+#:   (``data: timestamp_ns``);
+#: * ``untaint`` — an untaint outcome was applied (``data: outcome``, an
+#:   :class:`~repro.core.untaint.UntaintOutcome`);
+#: * ``state`` — the externally visible state was recorded
+#:   (``data: state``, a :class:`~repro.core.states.NodeState`);
+#: * ``calibration`` — a full calibration completed
+#:   (``data: frequency_hz``);
+#: * ``monitor-alert`` — the INC monitor raised.
+PROBE_KINDS = ("serve", "untaint", "state", "calibration", "monitor-alert")
+
+ProbeCallback = Callable[["ProbeEvent"], None]
+
+
+@dataclass(frozen=True)
+class ProbeEvent:
+    """One observation from an instrumented site."""
+
+    time_ns: int
+    node: str
+    kind: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROBE_KINDS:
+            raise ConfigurationError(
+                f"unknown probe kind {self.kind!r}; choose from {PROBE_KINDS}"
+            )
+
+
+class ProbeHub:
+    """Synchronous fan-out of probe events to zero or more subscribers."""
+
+    __slots__ = ("_subscribers",)
+
+    def __init__(self) -> None:
+        self._subscribers: list[ProbeCallback] = []
+
+    @property
+    def active(self) -> bool:
+        """Whether anyone is listening (emission guards on this)."""
+        return bool(self._subscribers)
+
+    def subscribe(self, callback: ProbeCallback) -> None:
+        """Register ``callback`` for every subsequent event (idempotent)."""
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: ProbeCallback) -> None:
+        """Remove ``callback``; unknown callbacks are ignored."""
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
+    def emit(self, event: ProbeEvent) -> None:
+        """Deliver ``event`` to all subscribers, in subscription order."""
+        for callback in tuple(self._subscribers):
+            callback(event)

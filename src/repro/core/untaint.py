@@ -20,7 +20,7 @@ path that causes it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.clock import TrustedClock
 from repro.messages import PeerTimeResponse
@@ -31,10 +31,15 @@ class UntaintOutcome:
     """Result of applying the peer policy once."""
 
     time_ns: int
-    source: str  # "peer:<name>", "authority", or "none"
+    source: str  # "peer:<name>", "authority", "self-consistent", "chimer-clique"
     old_now_ns: int
     new_now_ns: int
     jumped_forward: bool
+    #: The external timestamp the policy was offered (the winning peer's
+    #: reading, the TA reference, or the clique midpoint) — what the
+    #: oracle's untaint-safety check judges against true time. ``None``
+    #: when no external reference was involved (self-consistent untaints).
+    reference_time_ns: Optional[int] = None
 
     @property
     def jump_ns(self) -> int:
@@ -79,6 +84,7 @@ def apply_peer_untaint(
         old_now_ns=old_now,
         new_now_ns=new_now,
         jumped_forward=timestamp_ns > old_now,
+        reference_time_ns=timestamp_ns,
     )
 
 
@@ -107,4 +113,5 @@ def apply_authority_untaint(
         old_now_ns=old_now,
         new_now_ns=new_now,
         jumped_forward=reference_time_ns > old_now,
+        reference_time_ns=reference_time_ns,
     )

@@ -32,6 +32,24 @@ class FleetError(ReproError):
     """The fleet execution engine could not run or complete a task batch."""
 
 
+class OracleViolationError(ReproError):
+    """A strict-mode oracle run observed unexpected invariant violations.
+
+    Carries the offending records as plain dicts (see
+    :meth:`repro.oracle.Violation.to_dict`) so the exception pickles
+    cleanly across fleet worker process boundaries. Deterministic by
+    construction — the same task always violates the same way — so the
+    fleet pool must not retry it.
+    """
+
+    def __init__(self, message: str, violations: list[dict] | None = None) -> None:
+        super().__init__(message)
+        self.violations = violations or []
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.violations))
+
+
 class MonitoringAlert(ReproError):
     """The in-enclave TSC monitor detected a discrepancy.
 

@@ -10,15 +10,18 @@ attacker sits) separate from measurement post-processing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.analysis.metrics import DriftRecorder, DriftSeries
 from repro.core.cluster import TriadCluster
 from repro.core.node import TriadNode
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, OracleViolationError
 from repro.net.adversary import NetworkAdversary
+from repro.oracle.expectations import expected_for
+from repro.oracle.policy import current_policy
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.oracle.oracle import InvariantOracle
     from repro.sim.kernel import Simulator
 
 
@@ -33,9 +36,30 @@ class Experiment:
     attackers: list[NetworkAdversary] = field(default_factory=list)
     notes: str = ""
     duration_ns: int = 0
+    #: (node, invariant) pairs this scenario is *supposed* to produce
+    #: (attack experiments produce violations by design). Seeded from the
+    #: scenario registry by name; attack wiring (e.g.
+    #: :meth:`~repro.experiments.spec.ExperimentSpec`) may union more in.
+    expected_violations: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.expected_violations |= expected_for(self.name)
+
+    @property
+    def oracle(self) -> Optional["InvariantOracle"]:
+        """The cluster's invariant oracle (None when the policy is off)."""
+        oracle = self.cluster.oracle
+        if oracle is not None and not oracle.name:
+            oracle.name = self.name
+        return oracle
 
     def run(self, duration_ns: int) -> "Experiment":
-        """Advance the simulation to ``duration_ns`` and return self."""
+        """Advance the simulation to ``duration_ns`` and return self.
+
+        When an oracle is attached, finalizes it against this scenario's
+        expected violation set; under a ``strict`` policy, any unexpected
+        violation raises :class:`~repro.errors.OracleViolationError`.
+        """
         if duration_ns <= self.sim.now:
             raise ConfigurationError(
                 f"cannot run experiment {self.name!r} to duration_ns={duration_ns}: "
@@ -44,6 +68,17 @@ class Experiment:
             )
         self.sim.run(until=duration_ns)
         self.duration_ns = duration_ns
+        oracle = self.oracle
+        if oracle is not None:
+            oracle.finalize(self.expected_violations)
+            unexpected = oracle.unexpected_violations()
+            if unexpected and current_policy().strict:
+                raise OracleViolationError(
+                    f"experiment {self.name!r}: {len(unexpected)} unexpected "
+                    f"invariant violation(s): "
+                    + ", ".join(sorted({f"{v.node}/{v.invariant}" for v in unexpected})),
+                    violations=[v.to_dict() for v in unexpected],
+                )
         return self
 
     # -- post-run accessors ------------------------------------------------------

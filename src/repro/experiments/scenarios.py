@@ -17,6 +17,7 @@ from typing import Mapping, Optional
 
 from repro.analysis.metrics import DriftRecorder
 from repro.attacks.delay import AttackMode, CalibrationDelayAttacker
+from repro.attacks.dos import TaBlackholeAttack
 from repro.attacks.scheduler import at
 from repro.core.cluster import ClusterConfig, TA_NAME, TriadCluster, node_name
 from repro.errors import ConfigurationError
@@ -199,6 +200,41 @@ def fminus_propagation(
         source.pause()
         at(experiment.sim, switch_at_ns, source.resume, name=f"aex-onset-node{index}")
     _attach_attacker(experiment, AttackMode.F_MINUS)
+    return experiment
+
+
+def ta_blackhole_dos(
+    seed: int = 8,
+    start_ns: int = 30 * SECOND,
+    machine_wide_mean_ns: int = 30 * SECOND,
+    drift_interval_ns: int = SECOND,
+) -> Experiment:
+    """TA blackhole DoS: fail-closed starvation, no wrong time.
+
+    All nodes sit in the low-AEX environment with fully correlated
+    machine-wide interrupts every ~30 s: when one fires, every node taints
+    at once, peers cannot answer each other, and the whole cluster falls
+    back to the (blackholed) TA. Expected: after the outage begins, no
+    node ever refreshes again — availability collapses while drift stays
+    in bound. This is the golden-trace scenario for the oracle's
+    ``freshness`` invariant: with a deadline configured, every node
+    violates it; no correctness invariant fires.
+    """
+    experiment = build_experiment(
+        name="dos-ta-blackhole",
+        seed=seed,
+        environments={1: AexEnvironment.LOW_AEX, 2: AexEnvironment.LOW_AEX, 3: AexEnvironment.LOW_AEX},
+        machine_wide_mean_ns=machine_wide_mean_ns,
+        machine_wide_correlation=1.0,
+        drift_interval_ns=drift_interval_ns,
+        notes="fail-closed under TA DoS: refresh starves, correctness holds",
+    )
+    attacker = TaBlackholeAttack(
+        experiment.sim, ta_host=TA_NAME, victims=None, start_ns=start_ns
+    )
+    experiment.cluster.network.add_adversary(attacker)
+    experiment.attackers.append(attacker)
+    experiment.expected_violations |= attacker.expected_violations()
     return experiment
 
 

@@ -59,6 +59,16 @@ ATTACK_TYPES = {
     "aex-suppress": {"nodes"},
 }
 
+#: TSC manipulation hits the machine's counter, which on the default
+#: shared-host topology every node reads: any node's clock (and any
+#: untaint sourced from it) may go out of bound before the monitor
+#: catches the change, so the oracle allowance is cluster-wide.
+_TSC_ATTACK_VIOLATIONS = {
+    ("*", "drift-bound"),
+    ("*", "state-soundness"),
+    ("*", "untaint-safety"),
+}
+
 _SPEC_KEYS = {
     "name",
     "seed",
@@ -222,6 +232,7 @@ class ExperimentSpec:
             )
             cluster.network.add_adversary(adversary)
             experiment.attackers.append(adversary)
+            experiment.expected_violations |= adversary.expected_violations()
         elif kind == "ta-blackhole":
             victims = attack.get("victims")
             adversary = TaBlackholeAttack(
@@ -235,11 +246,13 @@ class ExperimentSpec:
             )
             cluster.network.add_adversary(adversary)
             experiment.attackers.append(adversary)
+            experiment.expected_violations |= adversary.expected_violations()
         elif kind == "tsc-scale":
             machine = cluster.node_machines[int(attack.get("victim", 1)) - 1]
             TscScaleAttack(
                 sim, machine.tsc, at_ns=int(attack["at_s"] * SECOND), scale=float(attack["scale"])
             )
+            experiment.expected_violations |= _TSC_ATTACK_VIOLATIONS
         elif kind == "tsc-offset":
             machine = cluster.node_machines[int(attack.get("victim", 1)) - 1]
             TscOffsetAttack(
@@ -248,6 +261,7 @@ class ExperimentSpec:
                 at_ns=int(attack["at_s"] * SECOND),
                 offset_ticks=int(attack["offset_ticks"]),
             )
+            experiment.expected_violations |= _TSC_ATTACK_VIOLATIONS
         elif kind == "aex-onset":
             for index in attack["nodes"]:
                 source = self._node_source(cluster, int(index))

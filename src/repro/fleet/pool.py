@@ -32,9 +32,9 @@ from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Optional, Sequence
 
-from repro.errors import FleetError
+from repro.errors import FleetError, OracleViolationError
 from repro.fleet.cache import ResultCache
-from repro.fleet.tasks import RunTask, TaskResult, execute_task, result_sim_ns
+from repro.fleet.tasks import RunTask, TaskResult, execute_task, result_sim_ns, result_violations
 from repro.fleet.telemetry import FleetTelemetry
 
 
@@ -94,6 +94,7 @@ class FleetPool:
                     value=value,
                     sim_ns=result_sim_ns(value),
                     from_cache=True,
+                    violations=result_violations(value),
                 )
                 telemetry.on_result(results[index])
 
@@ -125,7 +126,10 @@ class FleetPool:
             try:
                 value = execute_task(task)
             except Exception as exc:  # noqa: BLE001 — task errors become results
-                if attempts > self.retries:
+                # Oracle violations are a pure function of the task: the
+                # rerun would violate identically, so don't burn retries.
+                deterministic = isinstance(exc, OracleViolationError)
+                if deterministic or attempts > self.retries:
                     return TaskResult(
                         task_hash=task_hash,
                         name=task.name,
@@ -133,6 +137,7 @@ class FleetPool:
                         error=f"{type(exc).__name__}: {exc}",
                         wall_s=time.perf_counter() - started,
                         attempts=attempts,
+                        violations=list(getattr(exc, "violations", [])),
                     )
                 telemetry.retries += 1
             else:
@@ -144,6 +149,7 @@ class FleetPool:
                     wall_s=time.perf_counter() - started,
                     sim_ns=result_sim_ns(value),
                     attempts=attempts,
+                    violations=result_violations(value),
                 )
 
     # -- parallel path -----------------------------------------------------------
@@ -160,15 +166,18 @@ class FleetPool:
         attempts = {index: 0 for index in pending}
         executor: Optional[ProcessPoolExecutor] = None
 
-        def settle(index: int, error: str) -> None:
+        def settle(
+            index: int, error: str, retryable: bool = True, violations: Optional[list] = None
+        ) -> None:
             """Charge a failed attempt: retry if budget remains, else record."""
-            if attempts[index] > self.retries:
+            if not retryable or attempts[index] > self.retries:
                 results[index] = TaskResult(
                     task_hash=tasks[index].content_hash(),
                     name=tasks[index].name,
                     ok=False,
                     error=error,
                     attempts=attempts[index],
+                    violations=list(violations or []),
                 )
                 telemetry.on_result(results[index])
             else:
@@ -217,7 +226,13 @@ class FleetPool:
                         settle(index, "worker process crashed")
                         rebuild = True
                     except Exception as exc:  # noqa: BLE001 — task raised normally
-                        settle(index, f"{type(exc).__name__}: {exc}")
+                        settle(
+                            index,
+                            f"{type(exc).__name__}: {exc}",
+                            # Oracle violations rerun identically: no retry.
+                            retryable=not isinstance(exc, OracleViolationError),
+                            violations=list(getattr(exc, "violations", [])),
+                        )
                     else:
                         self._record_ok(tasks, index, payload, attempts, results, telemetry)
 
@@ -246,5 +261,6 @@ class FleetPool:
             wall_s=payload["wall_s"],
             sim_ns=result_sim_ns(value),
             attempts=attempts[index],
+            violations=result_violations(value),
         )
         telemetry.on_result(results[index])

@@ -27,7 +27,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Optional
 
-from repro.errors import FleetError
+from repro.errors import FleetError, OracleViolationError
 
 
 @dataclass
@@ -81,6 +81,8 @@ class TaskResult:
     sim_ns: int = 0
     attempts: int = 1
     from_cache: bool = False
+    #: Oracle violation records (dicts) the task reported, if any.
+    violations: list = field(default_factory=list)
 
 
 #: kind -> executor. Executors take a RunTask and return a JSON-able dict.
@@ -107,8 +109,50 @@ def runner_for(kind: str) -> Callable[[RunTask], dict]:
 
 
 def execute_task(task: RunTask) -> dict:
-    """Run a task in-process and return its JSON-able result value."""
-    return runner_for(task.kind)(task)
+    """Run a task in-process and return its JSON-able result value.
+
+    When ``task.overrides["oracle"]`` is ``warn`` or ``strict``, the
+    matching oracle policy is installed for the duration of the run (this
+    is how the oracle mode crosses worker-process boundaries: it rides in
+    the pickled task, not in inherited process state). Violations observed
+    by any oracle the run created are appended to the result value under
+    ``"violations"``; in strict mode, unexpected violations raise
+    :class:`~repro.errors.OracleViolationError`.
+    """
+    mode = str(task.overrides.get("oracle") or "off")
+    if mode == "off":
+        return runner_for(task.kind)(task)
+
+    from repro.oracle.policy import drain_created_oracles, oracle_policy
+
+    with oracle_policy(mode):
+        drain_created_oracles()
+        try:
+            value = runner_for(task.kind)(task)
+        finally:
+            oracles = drain_created_oracles()
+
+    violations: list[dict] = []
+    unexpected: list[dict] = []
+    for oracle in oracles:
+        if not oracle.name:
+            # Scenario runners name their oracle (and freeze its expected
+            # set) through Experiment.run; this is the fallback for runs
+            # that never went through an Experiment.
+            oracle.name = task.name
+        oracle.finalize()
+        violations.extend(v.to_dict() for v in oracle.violations)
+        unexpected.extend(v.to_dict() for v in oracle.unexpected_violations())
+    if isinstance(value, dict) and violations:
+        value = {**value, "violations": violations}
+    if unexpected and mode == "strict":
+        pairs = sorted({f"{v['node']}/{v['invariant']}" for v in unexpected})
+        raise OracleViolationError(
+            f"task {task.name!r}: {len(unexpected)} unexpected invariant "
+            f"violation(s): " + ", ".join(pairs),
+            violations=unexpected,
+        )
+    return value
 
 
 def result_sim_ns(value: Any) -> int:
@@ -118,6 +162,15 @@ def result_sim_ns(value: Any) -> int:
         if isinstance(sim_ns, (int, float)):
             return int(sim_ns)
     return 0
+
+
+def result_violations(value: Any) -> list[dict]:
+    """Oracle violation records a result value carries (empty when none)."""
+    if isinstance(value, dict):
+        violations = value.get("violations")
+        if isinstance(violations, list):
+            return [dict(item) for item in violations if isinstance(item, dict)]
+    return []
 
 
 # -- built-in task kinds ---------------------------------------------------------

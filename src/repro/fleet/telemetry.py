@@ -36,6 +36,7 @@ class FleetTelemetry:
         self.cache_hits = 0
         self.retries = 0
         self.worker_crashes = 0
+        self.violations = 0
         self.sim_ns = 0
         self.events: list[dict] = []
         self._started: Optional[float] = None
@@ -57,6 +58,7 @@ class FleetTelemetry:
         else:
             self.failed += 1
         self.sim_ns += result.sim_ns
+        self.violations += len(result.violations)
         self.events.append(
             {
                 "event": "task",
@@ -67,6 +69,7 @@ class FleetTelemetry:
                 "attempts": result.attempts,
                 "wall_s": round(result.wall_s, 6),
                 "sim_ns": result.sim_ns,
+                "violations": len(result.violations),
                 "error": result.error,
             }
         )
@@ -107,6 +110,8 @@ class FleetTelemetry:
             parts.append(f"{self.retries} retries")
         if self.worker_crashes:
             parts.append(f"{self.worker_crashes} crashes")
+        if self.violations:
+            parts.append(f"{self.violations} oracle violations")
         parts.append(f"{self.throughput():.0f} sim-s/wall-s")
         return " · ".join(parts)
 
@@ -118,6 +123,7 @@ class FleetTelemetry:
             "cache_hits": self.cache_hits,
             "retries": self.retries,
             "worker_crashes": self.worker_crashes,
+            "violations": self.violations,
             "sim_ns": self.sim_ns,
             "wall_s": round(self.wall_s, 6),
             "sim_s_per_wall_s": round(self.throughput(), 3),
@@ -131,6 +137,8 @@ class FleetTelemetry:
         )
         if self.retries or self.worker_crashes:
             line += f" [{self.retries} retries, {self.worker_crashes} worker crashes]"
+        if self.violations:
+            line += f" — {self.violations} oracle violation(s)"
         return line
 
     def write_jsonl(self, path: str | Path) -> Path:

@@ -163,7 +163,7 @@ class HardenedTriadNode(TriadNode):
             sender,
             PeerTimeResponse(
                 request_id=request.request_id,
-                timestamp_ns=self.clock.serve_timestamp(),
+                timestamp_ns=self._serve_timestamp(),
                 error_bound_ns=self.current_error_bound_ns(),
             ),
         )
@@ -215,6 +215,7 @@ class HardenedTriadNode(TriadNode):
                 old_now_ns=new_now,
                 new_now_ns=new_now,
                 jumped_forward=False,
+                reference_time_ns=None,
             )
         else:
             # Local clock inconsistent with the honest majority: adopt the
@@ -230,9 +231,10 @@ class HardenedTriadNode(TriadNode):
                 old_now_ns=old_now,
                 new_now_ns=new_now,
                 jumped_forward=new_now > old_now,
+                reference_time_ns=result.midpoint_ns,
             )
         self.stats.peer_untaints += 1
-        self.stats.untaint_outcomes.append(outcome)
+        self._record_untaint(outcome)
         self._set_state()
 
     # -- discipline loop (in-TCB deadline + NTP-style sync) -----------------------------

@@ -1,0 +1,96 @@
+"""Violation records: what the oracle reports when an invariant breaks.
+
+A :class:`Violation` is one observed breach of one invariant at one node,
+timestamped with the kernel's ground-truth simulation time. Records are
+plain frozen dataclasses with a loss-free dict/JSON representation so they
+travel through the fleet (worker → pool → telemetry), the event journal
+(:mod:`repro.analysis.journal`), and the golden-trace snapshots under
+``tests/golden/`` without bespoke serialization at every hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError
+
+#: The oracle's invariant catalogue (see ``docs/oracle.md`` for the table).
+INVARIANTS = (
+    "monotonicity",
+    "drift-bound",
+    "freshness",
+    "untaint-safety",
+    "state-soundness",
+)
+
+#: Severity per invariant. ``critical`` invariants are protocol guarantees
+#: whose breach means clients observed wrong time; ``error`` invariants are
+#: correctness bounds whose breach means an attack landed; ``warning``
+#: invariants are liveness/freshness conditions.
+SEVERITIES = {
+    "monotonicity": "critical",
+    "state-soundness": "critical",
+    "drift-bound": "error",
+    "untaint-safety": "error",
+    "freshness": "warning",
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, judged against kernel ground truth."""
+
+    time_ns: int
+    node: str
+    invariant: str
+    detail: str = ""
+    #: The offending measured quantity (signed drift, stale age, …).
+    measured_ns: Optional[int] = None
+    #: The bound it was checked against.
+    bound_ns: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.invariant not in INVARIANTS:
+            raise ConfigurationError(
+                f"unknown invariant {self.invariant!r}; choose from {INVARIANTS}"
+            )
+
+    @property
+    def severity(self) -> str:
+        """Severity class of the broken invariant."""
+        return SEVERITIES[self.invariant]
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The (node, invariant) pair — the unit of golden-trace matching."""
+        return (self.node, self.invariant)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Loss-free JSON-able representation."""
+        return {
+            "time_ns": self.time_ns,
+            "node": self.node,
+            "invariant": self.invariant,
+            "severity": self.severity,
+            "detail": self.detail,
+            "measured_ns": self.measured_ns,
+            "bound_ns": self.bound_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "Violation":
+        """Inverse of :meth:`to_dict` (ignores the derived severity)."""
+        return cls(
+            time_ns=int(raw["time_ns"]),
+            node=str(raw["node"]),
+            invariant=str(raw["invariant"]),
+            detail=str(raw.get("detail", "")),
+            measured_ns=None if raw.get("measured_ns") is None else int(raw["measured_ns"]),
+            bound_ns=None if raw.get("bound_ns") is None else int(raw["bound_ns"]),
+        )
+
+
+def violation_set(violations) -> set[tuple[str, str]]:
+    """Collapse violation records to their (node, invariant) pairs."""
+    return {violation.key for violation in violations}

@@ -50,6 +50,7 @@ class Simulator:
         self._queue: list[tuple[int, int, int, Event]] = []
         self._sequence = itertools.count()
         self._active_process: Optional[Process] = None
+        self._trace_hooks: list = []
         self.rng = RngRegistry(seed)
         self.seed = seed
 
@@ -87,6 +88,24 @@ class Simulator:
         """Event that fires when any of ``events`` fires successfully."""
         return AnyOf(self, events)
 
+    # -- tracing ---------------------------------------------------------------
+
+    def add_trace_hook(self, hook) -> None:
+        """Register ``hook(now_ns)`` to run after every processed event.
+
+        Trace hooks are observational: they run in zero simulated time and
+        must not schedule events, so an instrumented run (e.g. under the
+        invariant oracle) produces exactly the trace an uninstrumented run
+        would. Idempotent per hook.
+        """
+        if hook not in self._trace_hooks:
+            self._trace_hooks.append(hook)
+
+    def remove_trace_hook(self, hook) -> None:
+        """Deregister a trace hook; unknown hooks are ignored."""
+        if hook in self._trace_hooks:
+            self._trace_hooks.remove(hook)
+
     # -- scheduling ------------------------------------------------------------
 
     def _schedule(self, event: Event, delay: int = 0) -> None:
@@ -108,6 +127,9 @@ class Simulator:
             raise SimulationError("event queue corrupted: time went backwards")
         self._now = when
         event._process()
+        if self._trace_hooks:
+            for hook in tuple(self._trace_hooks):
+                hook(when)
         if event.triggered and not event.ok and not event._defused:
             # An unawaited failure: surface it rather than losing it.
             raise event.value

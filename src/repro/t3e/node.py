@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro.core.probes import ProbeEvent, ProbeHub
 from repro.errors import ConfigurationError
 from repro.sim.events import Event
 from repro.t3e.tpm import TpmBus
@@ -73,6 +74,8 @@ class T3eNode:
         self.min_increment_ns = min_increment_ns
         self.name = name
         self.stats = T3eStats()
+        #: Observational tap for the invariant oracle (inert unless watched).
+        self.probes = ProbeHub()
         self._cached_clock_ns: Optional[int] = None
         #: When the TPM sampled the cached value (staleness reference).
         self._cached_sampled_at_ns: Optional[int] = None
@@ -122,6 +125,8 @@ class T3eNode:
         self.stats.samples.append(
             (self.sim.now, value, self.sim.now - self._cached_sampled_at_ns)
         )
+        if self.probes.active:
+            self.probes.emit(ProbeEvent(self.sim.now, self.name, "serve", {"timestamp_ns": value}))
         return value
 
     def _fetch(self):

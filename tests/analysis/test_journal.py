@@ -2,8 +2,15 @@
 
 import pytest
 
-from repro.analysis.journal import EventJournal, ProtocolEvent, node_events
+from repro.analysis.journal import (
+    EventJournal,
+    node_events,
+    read_violations_jsonl,
+    violation_events,
+    write_violations_jsonl,
+)
 from repro.errors import ConfigurationError
+from repro.oracle import Violation
 from repro.sim import units
 
 from tests.core.conftest import build_cluster
@@ -100,6 +107,27 @@ class TestJournal:
         with pytest.raises(ConfigurationError):
             EventJournal.of([])
 
+    def test_violations_merge_into_the_stream(self, busy_cluster):
+        sim, cluster = busy_cluster
+        violations = [
+            Violation(
+                time_ns=6 * units.SECOND,
+                node="node-1",
+                invariant="drift-bound",
+                detail="true offset +0.700s exceeds bound",
+                measured_ns=700 * units.MILLISECOND,
+                bound_ns=500 * units.MILLISECOND,
+            )
+        ]
+        journal = EventJournal.of(cluster.nodes, violations=violations)
+        assert journal.count("oracle-violation") == 1
+        event = journal.filter(kind="oracle-violation").events[0]
+        assert event.node == "node-1"
+        assert "drift-bound" in event.detail
+        assert "[error]" in event.detail
+        times = [e.time_ns for e in journal]
+        assert times == sorted(times)  # merged chronologically
+
     def test_monitor_alert_events(self):
         sim, cluster = build_cluster(seed=701)
         sim.run(until=5 * units.SECOND)
@@ -112,3 +140,61 @@ class TestJournal:
         kinds = [event.kind for event in node1]
         alert_index = kinds.index("monitor-alert")
         assert "full-calibration" in kinds[alert_index:]
+
+
+class TestViolationSerialization:
+    @staticmethod
+    def _violations():
+        return [
+            Violation(
+                time_ns=units.SECOND,
+                node="node-1",
+                invariant="state-soundness",
+                detail="state OK but true offset is +1.000s",
+                measured_ns=units.SECOND,
+                bound_ns=500 * units.MILLISECOND,
+            ),
+            Violation(time_ns=2 * units.SECOND, node="node-2", invariant="monotonicity"),
+            Violation(
+                time_ns=3 * units.SECOND,
+                node="node-3",
+                invariant="freshness",
+                detail="no refresh for 61.0s",
+                measured_ns=61 * units.SECOND,
+                bound_ns=60 * units.SECOND,
+            ),
+        ]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        violations = self._violations()
+        path = write_violations_jsonl(violations, tmp_path / "violations.jsonl")
+        assert read_violations_jsonl(path) == violations
+
+    def test_jsonl_skips_blank_lines(self, tmp_path):
+        path = write_violations_jsonl(self._violations(), tmp_path / "violations.jsonl")
+        path.write_text(path.read_text() + "\n\n")
+        assert read_violations_jsonl(path) == self._violations()
+
+    def test_jsonl_bad_line_reports_location(self, tmp_path):
+        path = write_violations_jsonl(self._violations()[:1], tmp_path / "violations.jsonl")
+        path.write_text(path.read_text() + "not-json\n")
+        with pytest.raises(ConfigurationError, match=":2:"):
+            read_violations_jsonl(path)
+
+    def test_jsonl_incomplete_record_reports_location(self, tmp_path):
+        path = tmp_path / "violations.jsonl"
+        path.write_text('{"time_ns": 1}\n')  # valid JSON, missing fields
+        with pytest.raises(ConfigurationError, match=":1:.*invalid violation record"):
+            read_violations_jsonl(path)
+
+    def test_write_creates_parent_directories(self, tmp_path):
+        path = write_violations_jsonl(self._violations(), tmp_path / "deep" / "dir" / "v.jsonl")
+        assert path.exists()
+
+    def test_violation_events_carry_severity_and_detail(self):
+        events = violation_events(self._violations())
+        assert [event.kind for event in events] == ["oracle-violation"] * 3
+        assert "[critical]" in events[0].detail
+        assert "[critical]" in events[1].detail  # monotonicity, empty detail
+        assert events[1].detail.endswith("[critical]")  # rstripped
+        assert "[warning]" in events[2].detail

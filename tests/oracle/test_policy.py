@@ -1,0 +1,101 @@
+"""Tests for the process-wide oracle policy and cluster auto-attach."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.oracle import (
+    OracleConfig,
+    attach_from_policy,
+    clear_oracle_policy,
+    current_policy,
+    drain_created_oracles,
+    install_oracle_policy,
+    oracle_policy,
+)
+from repro.sim import units
+
+from tests.core.conftest import build_cluster
+
+
+@pytest.fixture(autouse=True)
+def reset_policy():
+    """Each test starts and ends with the default (off) policy."""
+    clear_oracle_policy()
+    drain_created_oracles()
+    yield
+    clear_oracle_policy()
+    drain_created_oracles()
+
+
+class TestPolicyLifecycle:
+    def test_default_is_off(self):
+        policy = current_policy()
+        assert policy.mode == "off"
+        assert not policy.enabled
+        assert not policy.strict
+
+    def test_install_and_clear(self):
+        install_oracle_policy("strict")
+        assert current_policy().strict
+        clear_oracle_policy()
+        assert not current_policy().enabled
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            install_oracle_policy("paranoid")
+
+    def test_context_manager_restores_previous(self):
+        install_oracle_policy("warn")
+        with oracle_policy("strict"):
+            assert current_policy().strict
+            with oracle_policy("off"):
+                assert not current_policy().enabled
+            assert current_policy().strict
+        assert current_policy().mode == "warn"
+
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with oracle_policy("strict"):
+                raise RuntimeError("boom")
+        assert current_policy().mode == "off"
+
+    def test_custom_config_carried(self):
+        config = OracleConfig(drift_bound_ns=units.SECOND)
+        install_oracle_policy("warn", config)
+        assert current_policy().config.drift_bound_ns == units.SECOND
+
+
+class TestClusterAutoAttach:
+    def test_off_policy_attaches_nothing(self):
+        _sim, cluster = build_cluster(seed=40)
+        assert cluster.oracle is None
+        assert drain_created_oracles() == []
+
+    def test_enabled_policy_attaches_and_registers(self):
+        with oracle_policy("warn"):
+            sim, cluster = build_cluster(seed=41)
+        assert cluster.oracle is not None
+        assert cluster.oracle.node_names == [node.name for node in cluster.nodes]
+        assert drain_created_oracles() == [cluster.oracle]
+        assert drain_created_oracles() == []  # drain clears
+
+    def test_policy_config_reaches_the_oracle(self):
+        config = OracleConfig(freshness_deadline_ns=30 * units.SECOND)
+        with oracle_policy("warn", config):
+            _sim, cluster = build_cluster(seed=42)
+        assert cluster.oracle.config.freshness_deadline_ns == 30 * units.SECOND
+
+    def test_attach_from_policy_direct(self):
+        sim, cluster = build_cluster(seed=43)
+        assert attach_from_policy(sim, cluster.nodes) is None  # off
+        install_oracle_policy("warn")
+        oracle = attach_from_policy(sim, cluster.nodes)
+        assert oracle is not None
+        assert drain_created_oracles() == [oracle]
+
+    def test_watched_cluster_run_stays_clean(self):
+        with oracle_policy("warn"):
+            sim, cluster = build_cluster(seed=44)
+        sim.run(until=10 * units.SECOND)
+        cluster.oracle.finalize()
+        assert cluster.oracle.violations == []

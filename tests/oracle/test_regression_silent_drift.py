@@ -1,0 +1,100 @@
+"""Characterization test for the silent-drift fuzz finding (PR 1).
+
+The protocol fuzzer found hostile schedules where a TSC offset lands
+*inside the calibration sleep window*: the 50 ms ``rdtsc`` delta loses
+50 M ticks, the regression computes F_calib ≈ 1.9 GHz instead of the true
+2.9 GHz, and every clock built on that frequency runs ~1.53x fast —
+about +0.52 s of error per second, ≈ 15.7 s after 30 s — while every
+node keeps reporting ``OK`` (the INC monitor validates counting
+consistency, not the calibrated frequency, so it never alarms).
+
+This pins the finding as a deterministic schedule instead of a fuzzer
+roll: one -50 M tick offset at t = 40 ms, squarely inside the initial
+calibration's sleep window (~26-76 ms with this config). The oracle's
+``state-soundness`` invariant is exactly the detector for this failure
+class; the xfail companion documents that the *protocol* still cannot
+detect it (un-xfail it when calibration hardening lands).
+"""
+
+import pytest
+
+from repro.core.cluster import ClusterConfig, TriadCluster
+from repro.core.node import TriadNodeConfig
+from repro.core.states import NodeState
+from repro.net.delays import ConstantDelay
+from repro.oracle import watch_cluster
+from repro.sim import Simulator, units
+
+#: Offset instant inside the initial calibration's 50 ms sleep window.
+OFFSET_AT_NS = 40 * units.MILLISECOND
+OFFSET_TICKS = -50_000_000
+
+
+def run_silent_drift_schedule(seed=0, until_ns=30 * units.SECOND):
+    """The pinned schedule; returns (cluster, oracle) after the run."""
+    sim = Simulator(seed=seed)
+    config = ClusterConfig(
+        delay_model=ConstantDelay(100 * units.MICROSECOND),
+        node_config=TriadNodeConfig(
+            calibration_rounds=1,
+            calibration_sleeps_ns=(0, 50 * units.MILLISECOND),
+            monitor_calibration_samples=4,
+            ta_timeout_margin_ns=200 * units.MILLISECOND,
+            ta_retry_backoff_ns=200 * units.MILLISECOND,
+        ),
+    )
+    cluster = TriadCluster(sim, config)
+    oracle = watch_cluster(sim, cluster.nodes)
+
+    def poke():
+        yield sim.timeout(OFFSET_AT_NS)
+        cluster.machine.tsc.apply_offset(OFFSET_TICKS)
+
+    sim.process(poke())
+    sim.run(until=until_ns)
+    oracle.finalize()
+    return cluster, oracle
+
+
+@pytest.fixture(scope="module")
+def silent_drift():
+    return run_silent_drift_schedule()
+
+
+class TestSilentDriftCharacterization:
+    def test_calibration_was_corrupted(self, silent_drift):
+        cluster, _oracle = silent_drift
+        for node in cluster.nodes:
+            # 95 M ticks measured over the 50 ms window instead of 145 M.
+            assert node.stats.latest_frequency_hz == pytest.approx(1.9e9, rel=0.01)
+
+    def test_drift_reaches_the_fuzz_magnitude_silently(self, silent_drift):
+        cluster, _oracle = silent_drift
+        for node in cluster.nodes:
+            assert node.state is NodeState.OK
+            assert node.drift_ns() > 15 * units.SECOND  # ~15.7s at t=30s
+            assert node.stats.monitor_alert_times_ns == []  # monitor is blind
+
+    def test_oracle_flags_state_soundness_on_every_node(self, silent_drift):
+        _cluster, oracle = silent_drift
+        for index in (1, 2, 3):
+            assert (f"node-{index}", "state-soundness") in oracle.violation_set()
+            assert (f"node-{index}", "drift-bound") in oracle.violation_set()
+
+    def test_oracle_detects_within_seconds(self, silent_drift):
+        """Detection at ~2s of drift growth, not at the 15.7s end state."""
+        _cluster, oracle = silent_drift
+        soundness = [v for v in oracle.violations if v.invariant == "state-soundness"]
+        assert soundness and min(v.time_ns for v in soundness) < 5 * units.SECOND
+
+    @pytest.mark.xfail(
+        reason="open protocol gap: nothing validates F_calib against an "
+        "independent rate source, so a calibration-window TSC offset "
+        "yields a confidently wrong clock (un-xfail when hardening "
+        "closes this)",
+        strict=True,
+    )
+    def test_protocol_keeps_clock_in_bound(self, silent_drift):
+        cluster, _oracle = silent_drift
+        for node in cluster.nodes:
+            assert abs(node.drift_ns()) < 500 * units.MILLISECOND

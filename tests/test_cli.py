@@ -206,3 +206,69 @@ class TestRunSpec:
         for path in samples:
             spec = ExperimentSpec.load(path)
             spec.build()  # wiring must succeed without running
+
+
+class TestOracleFlag:
+    def test_run_benign_warn_is_clean(self, capsys):
+        assert main(["run", "fig2", "--duration-s", "20", "--oracle", "warn"]) == 0
+        captured = capsys.readouterr()
+        assert "node-1" in captured.out
+        assert "violation" not in captured.err
+
+    def test_run_attack_strict_passes_when_expected(self, capsys):
+        # fig4's violations are registered as expected: strict stays green
+        # but the report still lands on stderr.
+        assert main(["run", "fig4", "--duration-s", "30", "--oracle", "strict"]) == 0
+        captured = capsys.readouterr()
+        assert "node-3" in captured.out
+        assert "drift-bound" in captured.err
+        assert "state-soundness" in captured.err
+
+    def test_run_strict_fails_on_unexpected(self, capsys, monkeypatch):
+        from repro.oracle import expectations
+
+        # Strip fig4's allowance: its violations become unexpected.
+        monkeypatch.setitem(
+            expectations.EXPECTED_VIOLATIONS, "fig4-fplus-low-aex", frozenset()
+        )
+        assert main(["run", "fig4", "--duration-s", "30", "--oracle", "strict"]) == 1
+        assert "unexpected" in capsys.readouterr().err
+
+    def test_run_warn_reports_but_passes_on_unexpected(self, capsys, monkeypatch):
+        from repro.oracle import expectations
+
+        monkeypatch.setitem(
+            expectations.EXPECTED_VIOLATIONS, "fig4-fplus-low-aex", frozenset()
+        )
+        assert main(["run", "fig4", "--duration-s", "30", "--oracle", "warn"]) == 0
+        assert "UNEXPECTED" in capsys.readouterr().err
+
+    def test_oracle_off_leaves_stderr_silent(self, capsys):
+        assert main(["run", "fig4", "--duration-s", "30"]) == 0
+        assert "violation" not in capsys.readouterr().err
+
+    def test_sweep_strict_with_expected_violations(self, capsys, tmp_path):
+        assert main([
+            "sweep", "attack-delay", "--limit", "1", "--oracle", "strict",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "skew_measured" in captured.out
+        assert "oracle violation" in captured.err
+
+    def test_sweep_oracle_mode_keys_the_cache(self, capsys, tmp_path):
+        # warn-mode results must not be served from an off-mode cache entry
+        # (the mode is part of the task content hash via overrides).
+        argv = ["sweep", "jitter", "--limit", "1", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--oracle", "warn"]) == 0
+        assert "0 cache hits" in capsys.readouterr().err  # recomputed, not served
+        assert main(argv + ["--oracle", "warn"]) == 0
+        assert "1 cache hits" in capsys.readouterr().err
+
+    def test_policy_restored_after_run(self):
+        from repro.oracle import current_policy
+
+        assert main(["run", "fig2", "--duration-s", "10", "--oracle", "warn"]) == 0
+        assert current_policy().mode == "off"
