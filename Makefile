@@ -1,6 +1,6 @@
 # Convenience targets for the Triad reproduction.
 
-.PHONY: install test lint bench reproduce figures sweeps clean
+.PHONY: install test lint bench reproduce figures sweeps hunt-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -29,6 +29,13 @@ sweeps:
 	python -m repro sweep jitter --jobs 4 --export out/sweeps
 	python -m repro sweep cluster-size --jobs 4 --export out/sweeps
 	python -m repro sweep aex-rate --jobs 4 --export out/sweeps
+
+# Tiny pinned-seed hunt, twice: MANIFEST.json must be byte-identical.
+hunt-smoke:
+	python -m repro hunt --seed 7 --budget 24 --jobs 2 --corpus-dir out/hunt-smoke-a
+	python -m repro hunt --seed 7 --budget 24 --jobs 2 --corpus-dir out/hunt-smoke-b
+	cmp out/hunt-smoke-a/MANIFEST.json out/hunt-smoke-b/MANIFEST.json
+	@echo "hunt-smoke: corpus manifests are byte-identical"
 
 figures:
 	python -m repro run fig2 --export out/fig2

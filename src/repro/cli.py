@@ -20,6 +20,12 @@ Commands
 ``run-spec <file.json>``
     Run a declarative experiment spec (see ``examples/specs/`` and
     :mod:`repro.experiments.spec`).
+``hunt``
+    Coverage-guided search for attack schedules (:mod:`repro.hunt`):
+    evolve genomes of timed attack primitives through the fleet, keep a
+    corpus of coverage champions under ``--corpus-dir``, and shrink every
+    finding into a minimal spec-JSON reproducer. Deterministic per
+    ``--seed``/``--budget`` regardless of ``--jobs``.
 ``reproduce``
     Run everything (delegates to ``examples/reproduce_paper.py``'s logic
     via the same figure functions) and print the paper-vs-measured lines;
@@ -125,6 +131,36 @@ def _build_parser() -> argparse.ArgumentParser:
     run_spec.add_argument("spec_path", help="path to the spec JSON file")
     run_spec.add_argument("--export", metavar="DIR", default=None, help="write series CSVs to DIR")
     _add_oracle_argument(run_spec)
+
+    hunt = sub.add_parser("hunt", help="coverage-guided search for attack schedules")
+    hunt.add_argument("--seed", type=int, default=7, help="search seed (default 7)")
+    hunt.add_argument(
+        "--budget", type=int, default=200, help="genomes to evaluate (default 200)"
+    )
+    hunt.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = in-process, the default)"
+    )
+    hunt.add_argument(
+        "--corpus-dir",
+        default=".hunt-corpus",
+        help="where to persist the corpus, manifest and findings (default .hunt-corpus)",
+    )
+    hunt.add_argument(
+        "--duration-s", type=float, default=30.0, help="simulated seconds per genome run"
+    )
+    hunt.add_argument("--nodes", type=int, default=3, help="cluster size per genome run")
+    hunt.add_argument(
+        "--population", type=int, default=16, help="genomes per generation (default 16)"
+    )
+    hunt.add_argument(
+        "--shrink",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="delta-debug findings into minimal reproducers (default on)",
+    )
+    hunt.add_argument(
+        "--telemetry", metavar="FILE", default=None, help="write per-task JSONL records to FILE"
+    )
 
     reproduce = sub.add_parser("reproduce", help="run every experiment and print the summary")
     reproduce.add_argument(
@@ -379,6 +415,39 @@ def _print_result(name: str, result) -> None:
     print(result.render(description))
 
 
+def _run_hunt(args) -> int:
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError
+    from repro.fleet import FleetTelemetry
+    from repro.hunt import HuntConfig, HuntEngine
+
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    try:
+        config = HuntConfig(
+            seed=args.seed,
+            budget=args.budget,
+            jobs=args.jobs,
+            duration_s=args.duration_s,
+            nodes=args.nodes,
+            population=args.population,
+            corpus_dir=Path(args.corpus_dir),
+            shrink=args.shrink,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    telemetry = FleetTelemetry(stream=sys.stderr)
+    report = HuntEngine(config, telemetry=telemetry).run()
+    print(report.render())
+    if args.telemetry:
+        path = telemetry.write_jsonl(args.telemetry)
+        print(f"wrote telemetry JSONL to {path}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -429,6 +498,9 @@ def main(argv: Optional[list[str]] = None) -> int:
             paths = export_experiment(result, args.export)
             print(f"\nwrote {len(paths)} CSV files to {args.export}/")
         return oracle_exit
+
+    if args.command == "hunt":
+        return _run_hunt(args)
 
     if args.command == "reproduce":
         invalid = _validate_fleet_flags(args)

@@ -265,6 +265,7 @@ class TriadNode:
         self.stats.aex_times_ns.append(event.time_ns)
         self.monitor.notify_aex()
         self.clock.taint()
+        self._probe("taint", cause=event.cause)
         self._set_state()
         self._signal_wake()
 
@@ -531,6 +532,7 @@ class TriadNode:
         self._probe("monitor-alert")
         self._monitor_alert = True
         self.clock.taint()
+        self._probe("taint", cause="monitor-alert")
         self._set_state()
         self._signal_wake()
 

@@ -28,8 +28,14 @@ from repro.errors import ConfigurationError
 #:   (``data: state``, a :class:`~repro.core.states.NodeState`);
 #: * ``calibration`` — a full calibration completed
 #:   (``data: frequency_hz``);
-#: * ``monitor-alert`` — the INC monitor raised.
-PROBE_KINDS = ("serve", "untaint", "state", "calibration", "monitor-alert")
+#: * ``monitor-alert`` — the INC monitor raised;
+#: * ``taint`` — the clock was tainted (``data: cause``, e.g. ``"os"``,
+#:   ``"machine-wide"``, ``"rdmsr-sim"``, ``"monitor-alert"``). The cheap
+#:   coverage tap of :mod:`repro.hunt.coverage`: together with ``state``
+#:   and ``calibration`` events it spans the protocol-state coverage
+#:   tuples ``(node_state, taint-cause, calibration-phase)`` the search
+#:   engine's fitness is guided by.
+PROBE_KINDS = ("serve", "untaint", "state", "calibration", "monitor-alert", "taint")
 
 ProbeCallback = Callable[["ProbeEvent"], None]
 

@@ -25,6 +25,14 @@ variant, attacks, duration — that compiles into a wired
 ``python -m repro run-spec my.json`` executes it and prints the standard
 drift table. Unknown keys are rejected — a typo must fail loudly, not
 silently run a different experiment.
+
+Besides the scenario-level ``attacks`` list, a spec may carry a *timed
+attack schedule*: a list of ``{"t_ns": ..., "primitive": ...,
+"params": {...}}`` entries drawn from :data:`SCHEDULE_PRIMITIVES`. This is
+the serialization format of ``repro.hunt`` genomes — every synthesized
+finding replays from plain spec JSON — but schedules are also handy for
+hand-scripted timelines at nanosecond resolution. Validation errors name
+the offending entry index (``schedule[3]: ...``).
 """
 
 from __future__ import annotations
@@ -43,7 +51,8 @@ from repro.errors import ConfigurationError
 from repro.experiments.runner import Experiment
 from repro.experiments.scenarios import AexEnvironment, build_experiment
 from repro.hardened.node import HardenedNodeConfig, HardenedTriadNode
-from repro.sim.units import MILLISECOND, SECOND
+from repro.hardware.aex import ExponentialAexDelays
+from repro.sim.units import MICROSECOND, MILLISECOND, SECOND
 
 #: Recognized protocol variants.
 PROTOCOLS = ("original", "hardened")
@@ -69,6 +78,27 @@ _TSC_ATTACK_VIOLATIONS = {
     ("*", "untaint-safety"),
 }
 
+#: Timed-schedule primitives — the genome alphabet of ``repro.hunt``.
+#: Maps primitive name -> (required param keys, optional param keys).
+#: Every entry takes effect at its absolute ``t_ns``; primitives with a
+#: ``duration_ms`` param revert when the window closes.
+SCHEDULE_PRIMITIVES = {
+    # Step the victim machine's TSC by a signed tick count.
+    "tsc-offset": ({"offset_ticks"}, {"victim"}),
+    # Multiply the victim machine's TSC rate.
+    "tsc-scale": ({"scale"}, {"victim"}),
+    # Isolate a node's monitoring core (no AEXs) for the window.
+    "aex-suppress": ({"node"}, {"duration_ms"}),
+    # Flood a node's monitoring core with exponential(mean_us) AEXs.
+    "aex-flood": ({"node", "mean_us"}, {"duration_ms"}),
+    # Drop all TA traffic (optionally only for listed victims).
+    "ta-blackhole": (set(), {"duration_ms", "victims"}),
+    # On-path F+/F- calibration delay against one victim.
+    "net-delay": ({"victim", "mode"}, {"delay_ms", "duration_ms"}),
+}
+
+_SCHEDULE_ENTRY_KEYS = {"t_ns", "primitive", "params"}
+
 _SPEC_KEYS = {
     "name",
     "seed",
@@ -80,6 +110,7 @@ _SPEC_KEYS = {
     "machine_wide_correlation",
     "ta_count",
     "attacks",
+    "schedule",
 }
 
 
@@ -98,6 +129,8 @@ class ExperimentSpec:
     machine_wide_correlation: float = 0.95
     ta_count: int = 1
     attacks: list[dict[str, Any]] = field(default_factory=list)
+    #: Timed attack schedule: [{"t_ns": int, "primitive": str, "params": {...}}].
+    schedule: list[dict[str, Any]] = field(default_factory=list)
 
     # -- construction & validation -------------------------------------------
 
@@ -120,6 +153,8 @@ class ExperimentSpec:
                 raise ConfigurationError(f"unknown environment {environment!r}")
         for attack in self.attacks:
             self._validate_attack(attack)
+        for index, entry in enumerate(self.schedule):
+            self._validate_schedule_entry(index, entry)
 
     def _validate_attack(self, attack: dict[str, Any]) -> None:
         kind = attack.get("type")
@@ -130,6 +165,91 @@ class ExperimentSpec:
         missing = ATTACK_TYPES[kind] - set(attack)
         if missing:
             raise ConfigurationError(f"attack {kind!r} missing keys: {sorted(missing)}")
+
+    def _validate_schedule_entry(self, index: int, entry: Any) -> None:
+        where = f"schedule[{index}]"
+        if not isinstance(entry, dict):
+            raise ConfigurationError(
+                f"{where}: entry must be an object, got {type(entry).__name__}"
+            )
+        unknown = set(entry) - _SCHEDULE_ENTRY_KEYS
+        if unknown:
+            raise ConfigurationError(f"{where}: unknown keys {sorted(unknown)}")
+        missing = {"t_ns", "primitive"} - set(entry)
+        if missing:
+            raise ConfigurationError(f"{where}: missing keys {sorted(missing)}")
+        t_ns = entry["t_ns"]
+        if isinstance(t_ns, bool) or not isinstance(t_ns, int) or t_ns < 0:
+            raise ConfigurationError(
+                f"{where}: t_ns must be a non-negative integer, got {t_ns!r}"
+            )
+        primitive = entry["primitive"]
+        if primitive not in SCHEDULE_PRIMITIVES:
+            raise ConfigurationError(
+                f"{where}: unknown primitive {primitive!r}; "
+                f"choose from {sorted(SCHEDULE_PRIMITIVES)}"
+            )
+        params = entry.get("params", {})
+        if not isinstance(params, dict):
+            raise ConfigurationError(
+                f"{where}: params must be an object, got {type(params).__name__}"
+            )
+        required, optional = SCHEDULE_PRIMITIVES[primitive]
+        missing = required - set(params)
+        if missing:
+            raise ConfigurationError(
+                f"{where}: {primitive} params missing {sorted(missing)}"
+            )
+        unknown = set(params) - required - optional
+        if unknown:
+            raise ConfigurationError(
+                f"{where}: {primitive} has unknown params {sorted(unknown)}"
+            )
+        self._validate_schedule_params(where, primitive, params)
+
+    def _validate_schedule_params(
+        self, where: str, primitive: str, params: dict[str, Any]
+    ) -> None:
+        if primitive == "tsc-offset" and int(params["offset_ticks"]) == 0:
+            raise ConfigurationError(f"{where}: offset_ticks must be non-zero")
+        if primitive == "tsc-scale" and not float(params["scale"]) > 0:
+            raise ConfigurationError(
+                f"{where}: scale must be positive, got {params['scale']!r}"
+            )
+        if primitive == "aex-flood" and not float(params["mean_us"]) > 0:
+            raise ConfigurationError(
+                f"{where}: mean_us must be positive, got {params['mean_us']!r}"
+            )
+        if primitive == "net-delay":
+            if params["mode"] not in ("fplus", "fminus"):
+                raise ConfigurationError(
+                    f"{where}: mode must be 'fplus' or 'fminus', got {params['mode']!r}"
+                )
+            if "delay_ms" in params and not float(params["delay_ms"]) > 0:
+                raise ConfigurationError(
+                    f"{where}: delay_ms must be positive, got {params['delay_ms']!r}"
+                )
+        if "duration_ms" in params and not float(params["duration_ms"]) > 0:
+            raise ConfigurationError(
+                f"{where}: duration_ms must be positive, got {params['duration_ms']!r}"
+            )
+        for key in ("victim", "node"):
+            if key in params:
+                value = int(params[key])
+                if not 1 <= value <= self.nodes:
+                    raise ConfigurationError(
+                        f"{where}: {key}={value} outside cluster of {self.nodes} node(s)"
+                    )
+        if primitive == "ta-blackhole" and "victims" in params:
+            victims = params["victims"]
+            if not isinstance(victims, list) or not victims:
+                raise ConfigurationError(f"{where}: victims must be a non-empty list")
+            for victim in victims:
+                if not 1 <= int(victim) <= self.nodes:
+                    raise ConfigurationError(
+                        f"{where}: victim {victim} outside cluster of "
+                        f"{self.nodes} node(s)"
+                    )
 
     @classmethod
     def from_dict(cls, raw: dict[str, Any]) -> "ExperimentSpec":
@@ -165,6 +285,7 @@ class ExperimentSpec:
                 "machine_wide_correlation": self.machine_wide_correlation,
                 "ta_count": self.ta_count,
                 "attacks": self.attacks,
+                "schedule": self.schedule,
             },
             indent=2,
         )
@@ -211,6 +332,8 @@ class ExperimentSpec:
         )
         for attack in self.attacks:
             self._apply_attack(experiment, attack)
+        for index, entry in enumerate(self.schedule):
+            self._apply_schedule_entry(experiment, index, entry)
         return experiment
 
     def run(self) -> Experiment:
@@ -280,5 +403,104 @@ class ExperimentSpec:
             raise ConfigurationError(
                 f"node {index} has no AEX source to control — give it the "
                 f"'triad-like' environment in the spec"
+            )
+        return source
+
+    def _apply_schedule_entry(
+        self, experiment: Experiment, index: int, entry: dict[str, Any]
+    ) -> None:
+        sim = experiment.sim
+        cluster = experiment.cluster
+        primary_ta = cluster.tas[0].name
+        t_ns = int(entry["t_ns"])
+        primitive = entry["primitive"]
+        params = entry.get("params", {})
+        tag = f"schedule[{index}]/{primitive}"
+        stop_ns = None
+        if "duration_ms" in params:
+            stop_ns = t_ns + max(int(float(params["duration_ms"]) * MILLISECOND), 1)
+        if primitive == "tsc-offset":
+            machine = cluster.node_machines[int(params.get("victim", 1)) - 1]
+            TscOffsetAttack(
+                sim, machine.tsc, at_ns=t_ns, offset_ticks=int(params["offset_ticks"])
+            )
+            experiment.expected_violations |= _TSC_ATTACK_VIOLATIONS
+        elif primitive == "tsc-scale":
+            machine = cluster.node_machines[int(params.get("victim", 1)) - 1]
+            TscScaleAttack(sim, machine.tsc, at_ns=t_ns, scale=float(params["scale"]))
+            experiment.expected_violations |= _TSC_ATTACK_VIOLATIONS
+        elif primitive == "aex-suppress":
+            source = self._ensure_schedule_source(cluster, int(params["node"]))
+            at(sim, t_ns, source.pause, name=f"{tag}-start")
+            if stop_ns is not None:
+                at(sim, stop_ns, source.resume, name=f"{tag}-stop")
+        elif primitive == "aex-flood":
+            source = self._ensure_schedule_source(cluster, int(params["node"]))
+            flood = ExponentialAexDelays(
+                max(int(float(params["mean_us"]) * MICROSECOND), 1)
+            )
+            previous_distribution = source.distribution
+            previously_enabled = source.enabled
+
+            def start_flood(source=source, flood=flood):
+                source.set_distribution(flood)
+                source.resume()
+
+            at(sim, t_ns, start_flood, name=f"{tag}-start")
+            if stop_ns is not None:
+
+                def stop_flood(
+                    source=source,
+                    distribution=previous_distribution,
+                    enabled=previously_enabled,
+                ):
+                    source.set_distribution(distribution)
+                    if not enabled:
+                        source.pause()
+
+                at(sim, stop_ns, stop_flood, name=f"{tag}-stop")
+        elif primitive == "ta-blackhole":
+            victims = params.get("victims")
+            adversary = TaBlackholeAttack(
+                sim,
+                ta_host=primary_ta,
+                victims={node_name(int(v)) for v in victims} if victims else None,
+                start_ns=t_ns,
+                stop_ns=stop_ns,
+            )
+            cluster.network.add_adversary(adversary)
+            experiment.attackers.append(adversary)
+            experiment.expected_violations |= adversary.expected_violations()
+        elif primitive == "net-delay":
+            adversary = CalibrationDelayAttacker(
+                sim,
+                victim_host=node_name(int(params["victim"])),
+                ta_host=primary_ta,
+                mode=AttackMode.F_PLUS if params["mode"] == "fplus" else AttackMode.F_MINUS,
+                added_delay_ns=int(float(params.get("delay_ms", 100)) * MILLISECOND),
+                active=False,
+            )
+            cluster.network.add_adversary(adversary)
+            experiment.attackers.append(adversary)
+            experiment.expected_violations |= adversary.expected_violations()
+            at(sim, t_ns, adversary.enable, name=f"{tag}-start")
+            if stop_ns is not None:
+                at(sim, stop_ns, adversary.disable, name=f"{tag}-stop")
+
+    @staticmethod
+    def _ensure_schedule_source(cluster, index: int):
+        """AEX source on a node's monitoring core, created paused if absent.
+
+        Schedule primitives steer AEX pressure per node, but a ``low-aex``
+        node has no source to steer — so compilation attaches a disabled
+        one (it stays silent until an ``aex-flood`` window resumes it;
+        suppressing it is the no-op it should be).
+        """
+        machine = cluster.node_machines[index - 1]
+        core = cluster.monitoring_cores[index - 1]
+        source = machine.aex_sources.get(core)
+        if source is None:
+            source = machine.add_aex_source(
+                core, ExponentialAexDelays(SECOND), cause="os", enabled=False
             )
         return source

@@ -23,6 +23,7 @@ from repro.fleet.tasks import (
     RunTask,
     TaskResult,
     execute_task,
+    peak_rss_kb,
     register_runner,
     runner_for,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "default_cache_dir",
     "default_start_method",
     "execute_task",
+    "peak_rss_kb",
     "register_runner",
     "runner_for",
 ]

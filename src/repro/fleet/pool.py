@@ -34,7 +34,14 @@ from typing import Optional, Sequence
 
 from repro.errors import FleetError, OracleViolationError
 from repro.fleet.cache import ResultCache
-from repro.fleet.tasks import RunTask, TaskResult, execute_task, result_sim_ns, result_violations
+from repro.fleet.tasks import (
+    RunTask,
+    TaskResult,
+    execute_task,
+    peak_rss_kb,
+    result_sim_ns,
+    result_violations,
+)
 from repro.fleet.telemetry import FleetTelemetry
 
 
@@ -47,7 +54,11 @@ def _worker_execute(task: RunTask) -> dict:
     """Top-level (pickle-reachable) worker entry point."""
     started = time.perf_counter()
     value = execute_task(task)
-    return {"value": value, "wall_s": time.perf_counter() - started}
+    return {
+        "value": value,
+        "wall_s": time.perf_counter() - started,
+        "peak_rss_kb": peak_rss_kb(),
+    }
 
 
 class FleetPool:
@@ -138,6 +149,7 @@ class FleetPool:
                         wall_s=time.perf_counter() - started,
                         attempts=attempts,
                         violations=list(getattr(exc, "violations", [])),
+                        peak_rss_kb=peak_rss_kb(),
                     )
                 telemetry.retries += 1
             else:
@@ -150,6 +162,7 @@ class FleetPool:
                     sim_ns=result_sim_ns(value),
                     attempts=attempts,
                     violations=result_violations(value),
+                    peak_rss_kb=peak_rss_kb(),
                 )
 
     # -- parallel path -----------------------------------------------------------
@@ -262,5 +275,6 @@ class FleetPool:
             sim_ns=result_sim_ns(value),
             attempts=attempts[index],
             violations=result_violations(value),
+            peak_rss_kb=int(payload.get("peak_rss_kb", 0)),
         )
         telemetry.on_result(results[index])

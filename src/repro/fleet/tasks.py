@@ -83,6 +83,29 @@ class TaskResult:
     from_cache: bool = False
     #: Oracle violation records (dicts) the task reported, if any.
     violations: list = field(default_factory=list)
+    #: Peak resident-set size of the executing process (KiB; 0 when
+    #: unknown, e.g. cache hits). In-process runs report the parent's
+    #: peak, worker runs the worker's — either way a monotone high-water
+    #: mark that makes memory growth over a long batch diagnosable.
+    peak_rss_kb: int = 0
+
+
+def peak_rss_kb() -> int:
+    """Peak RSS of the current process in KiB (0 where unsupported).
+
+    ``ru_maxrss`` is kibibytes on Linux but bytes on macOS; normalize so
+    telemetry is comparable across platforms.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover — non-POSIX platform
+        return 0
+    import sys
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover — linux CI
+        peak //= 1024
+    return int(peak)
 
 
 #: kind -> executor. Executors take a RunTask and return a JSON-able dict.
@@ -223,6 +246,14 @@ def _run_spec(task: RunTask) -> dict:
         "availability": result.availability(),
         "sim_ns": spec.duration_ns,
     }
+
+
+@register_runner("hunt-genome")
+def _run_hunt_genome(task: RunTask) -> dict:
+    """Evaluate one attack-schedule genome (see ``repro.hunt``)."""
+    from repro.hunt.evaluate import evaluate_genome_task
+
+    return evaluate_genome_task(task)
 
 
 @register_runner("experiment")

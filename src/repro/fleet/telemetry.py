@@ -38,6 +38,7 @@ class FleetTelemetry:
         self.worker_crashes = 0
         self.violations = 0
         self.sim_ns = 0
+        self.peak_rss_kb = 0
         self.events: list[dict] = []
         self._started: Optional[float] = None
         self._finished: Optional[float] = None
@@ -59,6 +60,7 @@ class FleetTelemetry:
             self.failed += 1
         self.sim_ns += result.sim_ns
         self.violations += len(result.violations)
+        self.peak_rss_kb = max(self.peak_rss_kb, result.peak_rss_kb)
         self.events.append(
             {
                 "event": "task",
@@ -70,6 +72,7 @@ class FleetTelemetry:
                 "wall_s": round(result.wall_s, 6),
                 "sim_ns": result.sim_ns,
                 "violations": len(result.violations),
+                "peak_rss_kb": result.peak_rss_kb,
                 "error": result.error,
             }
         )
@@ -127,6 +130,7 @@ class FleetTelemetry:
             "sim_ns": self.sim_ns,
             "wall_s": round(self.wall_s, 6),
             "sim_s_per_wall_s": round(self.throughput(), 3),
+            "peak_rss_kb": self.peak_rss_kb,
         }
 
     def render_summary(self) -> str:

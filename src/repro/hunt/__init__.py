@@ -1,0 +1,69 @@
+"""repro.hunt — coverage-guided adversarial search for attack schedules.
+
+The paper's attacks were hand-crafted; this subsystem searches for them.
+A genome is a timed schedule of attack primitives (the ``schedule``
+format of :class:`~repro.experiments.spec.ExperimentSpec`); the engine
+evolves populations of genomes through the fleet, scores them with
+oracle violations plus protocol-state coverage, keeps champions per
+coverage signature in an on-disk corpus, and shrinks every finding into
+a minimal spec-JSON reproducer. See ``docs/hunt.md``.
+
+``repro.hunt.genome``    schedule genomes, canonical form, random sampling
+``repro.hunt.mutators``  mutation + crossover operators
+``repro.hunt.coverage``  (state, taint-cause, calib-phase) probe collector
+``repro.hunt.fitness``   violation+coverage scoring, finding definition
+``repro.hunt.evaluate``  fleet task packaging for genome runs
+``repro.hunt.corpus``    coverage-keyed champion store + manifest
+``repro.hunt.shrinker``  delta-debugging minimizer (drop/merge/normalize)
+``repro.hunt.engine``    the deterministic generational search loop
+"""
+
+from repro.hunt.corpus import Corpus, CorpusEntry
+from repro.hunt.coverage import CoverageCollector, coverage_signature, tuples_from_lists
+from repro.hunt.engine import (
+    HuntConfig,
+    HuntEngine,
+    HuntReport,
+    archetype_genomes,
+    finding_id,
+)
+from repro.hunt.evaluate import HUNT_TASK_KIND, evaluate_genome, make_hunt_task
+from repro.hunt.fitness import FINDING_INVARIANTS, finding_edges, fitness
+from repro.hunt.genome import (
+    Genome,
+    canonical,
+    genome_key,
+    genome_to_spec,
+    random_genome,
+    validate_genome,
+)
+from repro.hunt.mutators import crossover, mutate
+from repro.hunt.shrinker import shrink
+
+__all__ = [
+    "Corpus",
+    "CorpusEntry",
+    "CoverageCollector",
+    "FINDING_INVARIANTS",
+    "Genome",
+    "HUNT_TASK_KIND",
+    "HuntConfig",
+    "HuntEngine",
+    "HuntReport",
+    "archetype_genomes",
+    "canonical",
+    "coverage_signature",
+    "crossover",
+    "evaluate_genome",
+    "finding_edges",
+    "finding_id",
+    "fitness",
+    "genome_key",
+    "genome_to_spec",
+    "make_hunt_task",
+    "mutate",
+    "random_genome",
+    "shrink",
+    "tuples_from_lists",
+    "validate_genome",
+]

@@ -1,0 +1,149 @@
+"""The corpus: champion genomes per coverage signature, persisted to disk.
+
+The corpus is the hunt's memory. Every evaluated genome is bucketed by
+its :func:`~repro.hunt.coverage.coverage_signature`; per bucket the
+corpus keeps the highest-scoring genome seen so far (first-seen wins
+ties, which keeps replacement deterministic under a fixed evaluation
+order). Parents for the next generation are drawn from the score-ranked
+corpus, so search pressure concentrates on schedules that reach distinct
+protocol-state sets.
+
+On-disk layout (``--corpus-dir``)::
+
+    MANIFEST.json            deterministic index: entries, coverage size,
+                             findings summary — byte-identical across
+                             reruns of the same seed+budget (no wall
+                             times, no environment data)
+    genomes/<signature>.json one champion genome per coverage signature
+    findings/<id>.json       minimal reproducer ExperimentSpec JSON —
+                             replay with `python -m repro run-spec`
+
+``MANIFEST.json`` is the determinism witness the CI smoke job compares
+across two hunts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.hunt.coverage import CoverageTuple
+from repro.hunt.genome import Genome, genome_key
+
+MANIFEST_NAME = "MANIFEST.json"
+
+
+@dataclass
+class CorpusEntry:
+    """The champion genome of one coverage signature."""
+
+    signature: str
+    genome: Genome
+    score: float
+    coverage: list[list[str]]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "signature": self.signature,
+            "genome_key": genome_key(self.genome),
+            "genome": self.genome,
+            "score": round(self.score, 6),
+            "coverage": self.coverage,
+        }
+
+
+class Corpus:
+    """In-memory corpus with a deterministic on-disk serialization."""
+
+    def __init__(self) -> None:
+        self.entries: dict[str, CorpusEntry] = {}
+        self.seen_coverage: set[CoverageTuple] = set()
+
+    def observe(self, coverage: set[CoverageTuple]) -> set[CoverageTuple]:
+        """Record a run's coverage; returns the globally novel tuples."""
+        novel = coverage - self.seen_coverage
+        self.seen_coverage |= novel
+        return novel
+
+    def consider(
+        self,
+        signature: str,
+        genome: Genome,
+        score: float,
+        coverage: list[list[str]],
+    ) -> bool:
+        """Adopt the genome if its signature is new or its score strictly
+        beats the incumbent; returns whether the corpus changed."""
+        incumbent = self.entries.get(signature)
+        if incumbent is not None and score <= incumbent.score:
+            return False
+        self.entries[signature] = CorpusEntry(
+            signature=signature, genome=genome, score=score, coverage=coverage
+        )
+        return True
+
+    def ranked(self) -> list[CorpusEntry]:
+        """Entries by descending score (signature breaks ties)."""
+        return sorted(self.entries.values(), key=lambda e: (-e.score, e.signature))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- persistence -------------------------------------------------------------
+
+    def manifest(self, findings: Optional[list[dict[str, Any]]] = None) -> dict[str, Any]:
+        """Deterministic index of the corpus (see module docstring)."""
+        return {
+            "version": 1,
+            "coverage_size": len(self.seen_coverage),
+            "coverage": sorted(list(item) for item in self.seen_coverage),
+            "entries": [
+                {
+                    "signature": entry.signature,
+                    "genome_key": genome_key(entry.genome),
+                    "score": round(entry.score, 6),
+                    "coverage_size": len(entry.coverage),
+                }
+                for entry in sorted(self.entries.values(), key=lambda e: e.signature)
+            ],
+            "findings": findings or [],
+        }
+
+    def write(
+        self, directory: str | Path, findings: Optional[list[dict[str, Any]]] = None
+    ) -> Path:
+        """Persist genomes + manifest under ``directory``; returns the
+        manifest path. Finding specs are written by the engine (they need
+        the spec serialization, which the corpus doesn't know about)."""
+        root = Path(directory)
+        genomes_dir = root / "genomes"
+        genomes_dir.mkdir(parents=True, exist_ok=True)
+        for entry in self.ranked():
+            path = genomes_dir / f"{entry.signature}.json"
+            path.write_text(json.dumps(entry.to_dict(), sort_keys=True, indent=2) + "\n")
+        manifest_path = root / MANIFEST_NAME
+        manifest_path.write_text(
+            json.dumps(self.manifest(findings), sort_keys=True, indent=2) + "\n"
+        )
+        return manifest_path
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "Corpus":
+        """Rehydrate a corpus from ``write`` output (resuming a hunt)."""
+        corpus = cls()
+        genomes_dir = Path(directory) / "genomes"
+        if not genomes_dir.is_dir():
+            return corpus
+        for path in sorted(genomes_dir.glob("*.json")):
+            raw = json.loads(path.read_text())
+            entry = CorpusEntry(
+                signature=str(raw["signature"]),
+                genome=list(raw["genome"]),
+                score=float(raw["score"]),
+                coverage=[list(item) for item in raw["coverage"]],
+            )
+            corpus.entries[entry.signature] = entry
+            corpus.seen_coverage |= {tuple(item) for item in entry.coverage}
+        return corpus

@@ -1,0 +1,103 @@
+"""Protocol-state coverage: what a run *visited*, independent of fitness.
+
+Oracle violations alone make a terrible search gradient — almost every
+genome scores zero, so the engine would wander blindly until it tripped a
+bound. Coverage gives the flat landscape texture: a
+:class:`CoverageCollector` subscribes to every node's probe hub
+(:mod:`repro.core.probes`, zero simulated-time cost) and folds the event
+stream into a set of
+
+    ``(node_state, taint_cause, calibration_phase)``
+
+tuples. The components:
+
+* **node_state** — the externally visible :class:`~repro.core.states.NodeState`
+  value (``state`` probes);
+* **taint_cause** — the *last* taint cause (``taint`` probes: ``"os"``,
+  ``"machine-wide"``, ``"monitor-alert"``, …), replaced on untaint by
+  ``"untaint:<source-class>"`` (``"untaint:peer"``, ``"untaint:authority"``,
+  …) so recovery paths are distinguishable from attack paths;
+* **calibration_phase** — ``pre-calib`` / ``calibrated`` / ``recalibrated``
+  by counting completed full calibrations (``calibration`` probes).
+
+Tuples are node-*agnostic* (no node name inside), so a schedule hitting
+node 3 the way another hit node 1 is rightly considered "nothing new".
+A corpus keyed by :func:`coverage_signature` keeps one champion genome
+per distinct set of visited tuples.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable
+
+from repro.core.probes import ProbeEvent
+
+#: Component defaults before the first relevant probe arrives.
+PRE_STATE = "pre-state"
+NO_TAINT = "none"
+
+#: Calibration-phase buckets by completed full calibrations.
+PHASES = ("pre-calib", "calibrated", "recalibrated")
+
+CoverageTuple = tuple[str, str, str]
+
+
+def _phase(calibrations: int) -> str:
+    return PHASES[min(calibrations, 2)]
+
+
+class CoverageCollector:
+    """Fold a cluster's probe streams into a set of coverage tuples."""
+
+    def __init__(self) -> None:
+        self.tuples: set[CoverageTuple] = set()
+        self._state: dict[str, str] = {}
+        self._cause: dict[str, str] = {}
+        self._calibrations: dict[str, int] = {}
+
+    def attach(self, nodes: Iterable) -> None:
+        """Subscribe to every node's probe hub."""
+        for node in nodes:
+            node.probes.subscribe(self)
+
+    def __call__(self, event: ProbeEvent) -> None:
+        node = event.node
+        if event.kind == "state":
+            self._state[node] = event.data["state"].value
+        elif event.kind == "taint":
+            self._cause[node] = str(event.data.get("cause", "unknown"))
+        elif event.kind == "untaint":
+            outcome = event.data.get("outcome")
+            source = str(getattr(outcome, "source", "unknown"))
+            # "peer:node-2" and "peer:node-3" are the same recovery class.
+            self._cause[node] = "untaint:" + source.split(":", 1)[0]
+        elif event.kind == "calibration":
+            self._calibrations[node] = self._calibrations.get(node, 0) + 1
+        else:
+            # serve / monitor-alert don't move the coverage state machine
+            # (alerts arrive alongside a taint probe that does).
+            return
+        self.tuples.add(
+            (
+                self._state.get(node, PRE_STATE),
+                self._cause.get(node, NO_TAINT),
+                _phase(self._calibrations.get(node, 0)),
+            )
+        )
+
+    def as_lists(self) -> list[list[str]]:
+        """JSON-able, deterministically ordered form (crosses workers)."""
+        return [list(item) for item in sorted(self.tuples)]
+
+
+def tuples_from_lists(raw: Iterable[Iterable[str]]) -> set[CoverageTuple]:
+    """Inverse of :meth:`CoverageCollector.as_lists`."""
+    return {tuple(str(part) for part in item) for item in raw}  # type: ignore[misc]
+
+
+def coverage_signature(tuples: Iterable[CoverageTuple]) -> str:
+    """Stable digest of a coverage set — the corpus bucket key."""
+    blob = json.dumps(sorted(list(item) for item in tuples), separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

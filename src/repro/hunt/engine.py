@@ -1,0 +1,364 @@
+"""The hunt engine: a deterministic, coverage-guided generational search.
+
+One :class:`HuntEngine` run is a loop of *generations*: propose a batch
+of genomes, evaluate the whole batch through the fleet (serial or
+parallel — results come back in task order either way), fold each result
+into the corpus, and breed the next batch from the corpus champions.
+The loop stops when the evaluation budget is spent.
+
+Determinism contract (the acceptance bar of this subsystem): for a fixed
+``(seed, budget)`` the corpus manifest and findings are **byte-identical**
+across runs and across ``--jobs`` settings, because
+
+* every genome evaluates to a pure function of itself (fresh simulator
+  from the hunt seed; the fleet's existing guarantee);
+* batch results are processed in task order;
+* all randomness comes from one ``numpy`` generator that is only drawn
+  from *between* batches, never concurrently;
+* nothing wall-clock-dependent is ever written to the corpus.
+
+The first generation is not random: a fixed archetype corpus seeds the
+search with one canonical schedule per attack family at a few log-spread
+times (the standard fuzzing trick — the interesting part is what the
+search *grows* from them, and that mutated descendants and crossovers are
+judged by coverage the archetypes never reach).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fleet.pool import FleetPool
+from repro.fleet.telemetry import FleetTelemetry
+from repro.hunt.corpus import Corpus
+from repro.hunt.coverage import coverage_signature, tuples_from_lists
+from repro.hunt.evaluate import evaluate_genome, make_hunt_task
+from repro.hunt.fitness import finding_edges, fitness
+from repro.hunt.genome import (
+    Genome,
+    canonical,
+    genome_key,
+    genome_to_spec,
+    random_genome,
+)
+from repro.hunt.mutators import crossover, mutate
+from repro.hunt.shrinker import shrink
+from repro.sim.units import MILLISECOND, SECOND
+
+#: Archetype time anchors, as fractions of the run. Log-spread: the
+#: protocol front-loads its interesting phases (initial calibration ends
+#: ~2 s in; the first monitor window closes at ~1 s).
+_ARCHETYPE_FRACTIONS = (0.01, 0.02, 0.05, 0.15, 0.4)
+
+
+def archetype_genomes(duration_ns: int, nodes: int) -> list[Genome]:
+    """The fixed seed corpus: one schedule per attack family."""
+    anchors = [max(int(f * duration_ns), MILLISECOND) for f in _ARCHETYPE_FRACTIONS]
+    genomes: list[Genome] = []
+    for t_ns in anchors:
+        genomes.append(
+            [
+                {
+                    "t_ns": t_ns,
+                    "primitive": "tsc-offset",
+                    "params": {"offset_ticks": -300_000_000, "victim": 1},
+                }
+            ]
+        )
+    genomes.append(
+        [
+            {
+                "t_ns": anchors[3],
+                "primitive": "tsc-scale",
+                "params": {"scale": 1.02, "victim": 1},
+            }
+        ]
+    )
+    genomes.append(
+        [
+            {
+                "t_ns": anchors[2],
+                "primitive": "aex-suppress",
+                "params": {"node": 1, "duration_ms": 10_000},
+            }
+        ]
+    )
+    genomes.append(
+        [
+            {
+                "t_ns": anchors[2],
+                "primitive": "aex-flood",
+                "params": {"node": min(2, nodes), "mean_us": 50_000, "duration_ms": 5_000},
+            }
+        ]
+    )
+    genomes.append(
+        [
+            {
+                "t_ns": anchors[2],
+                "primitive": "ta-blackhole",
+                "params": {"duration_ms": 10_000},
+            }
+        ]
+    )
+    for mode in ("fminus", "fplus"):
+        genomes.append(
+            [
+                {
+                    "t_ns": MILLISECOND,
+                    "primitive": "net-delay",
+                    "params": {
+                        "victim": 1,
+                        "mode": mode,
+                        "delay_ms": 100,
+                        "duration_ms": 15_000,
+                    },
+                }
+            ]
+        )
+    return [canonical(genome) for genome in genomes]
+
+
+@dataclass
+class HuntConfig:
+    """Knobs of one hunt (mirrors the ``hunt`` CLI)."""
+
+    seed: int = 7
+    budget: int = 200
+    jobs: int = 1
+    duration_s: float = 30.0
+    nodes: int = 3
+    population: int = 16
+    corpus_dir: Optional[Path] = None
+    shrink: bool = True
+    max_findings: int = 8
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ConfigurationError(f"budget must be >= 1, got {self.budget}")
+        if self.population < 1:
+            raise ConfigurationError(f"population must be >= 1, got {self.population}")
+        if self.nodes < 1:
+            raise ConfigurationError(f"need at least one node, got {self.nodes}")
+        if self.duration_s <= 0:
+            raise ConfigurationError(f"duration must be positive, got {self.duration_s}")
+        if self.corpus_dir is not None:
+            self.corpus_dir = Path(self.corpus_dir)
+
+
+@dataclass
+class HuntReport:
+    """Outcome of one hunt run."""
+
+    seed: int
+    budget: int
+    evaluated: int
+    generations: int
+    corpus_size: int
+    coverage_size: int
+    findings: list[dict[str, Any]] = field(default_factory=list)
+    manifest_path: Optional[Path] = None
+    shrink_evals: int = 0
+
+    def render(self) -> str:
+        lines = [
+            f"hunt: seed {self.seed} — {self.evaluated}/{self.budget} genomes "
+            f"evaluated over {self.generations} generation(s)",
+            f"corpus: {self.corpus_size} signature(s), "
+            f"{self.coverage_size} coverage tuple(s)",
+            f"findings: {len(self.findings)}"
+            + (f" (shrunk in {self.shrink_evals} extra run(s))" if self.shrink_evals else ""),
+        ]
+        for record in self.findings:
+            edges = ", ".join(f"{node}/{invariant}" for node, invariant in record["edges"])
+            lines.append(
+                f"  [{record['id']}] {record['primitives']} primitive(s) — {edges}"
+            )
+            if record.get("spec_path"):
+                lines.append(f"    replay: python -m repro run-spec {record['spec_path']}")
+        return "\n".join(lines)
+
+
+def finding_id(edges: frozenset) -> str:
+    """Stable identity of a finding class: its (node, invariant) edge set."""
+    import hashlib
+
+    blob = json.dumps(sorted(list(edge) for edge in edges), separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
+class HuntEngine:
+    """Run one coverage-guided hunt (see module docstring)."""
+
+    def __init__(
+        self, config: HuntConfig, telemetry: Optional[FleetTelemetry] = None
+    ) -> None:
+        self.config = config
+        self.telemetry = telemetry if telemetry is not None else FleetTelemetry()
+        self.corpus = Corpus()
+
+    # -- batch proposal ----------------------------------------------------------
+
+    def _bootstrap(self, rng: np.random.Generator, duration_ns: int) -> list[Genome]:
+        genomes = archetype_genomes(duration_ns, self.config.nodes)
+        seen = {genome_key(g) for g in genomes}
+        while len(genomes) < self.config.population:
+            genome = random_genome(rng, duration_ns=duration_ns, nodes=self.config.nodes)
+            if genome_key(genome) not in seen:
+                seen.add(genome_key(genome))
+                genomes.append(genome)
+        return genomes
+
+    def _next_batch(self, rng: np.random.Generator, duration_ns: int) -> list[Genome]:
+        parents = self.corpus.ranked()
+        elite = min(len(parents), 8)
+        batch: list[Genome] = []
+        for _ in range(self.config.population):
+            draw = float(rng.random())
+            if not parents or draw < 0.15:
+                batch.append(
+                    random_genome(rng, duration_ns=duration_ns, nodes=self.config.nodes)
+                )
+            elif draw < 0.85 or len(parents) < 2:
+                parent = parents[int(rng.integers(0, elite))]
+                batch.append(
+                    mutate(
+                        rng,
+                        parent.genome,
+                        duration_ns=duration_ns,
+                        nodes=self.config.nodes,
+                    )
+                )
+            else:
+                first = parents[int(rng.integers(0, elite))]
+                second = parents[int(rng.integers(0, elite))]
+                batch.append(crossover(rng, first.genome, second.genome))
+        return batch
+
+    # -- the loop ----------------------------------------------------------------
+
+    def run(self) -> HuntReport:
+        cfg = self.config
+        duration_ns = int(cfg.duration_s * SECOND)
+        rng = np.random.default_rng(cfg.seed)
+        pool = FleetPool(jobs=cfg.jobs)
+        findings: dict[str, dict[str, Any]] = {}
+        evaluated = 0
+        generations = 0
+
+        batch = self._bootstrap(rng, duration_ns)
+        while evaluated < cfg.budget and batch:
+            batch = batch[: cfg.budget - evaluated]
+            tasks = [
+                make_hunt_task(
+                    genome, seed=cfg.seed, duration_s=cfg.duration_s, nodes=cfg.nodes
+                )
+                for genome in batch
+            ]
+            results = pool.run(tasks, telemetry=self.telemetry)
+            for genome, result in zip(batch, results):
+                evaluated += 1
+                if not result.ok or not isinstance(result.value, dict):
+                    continue
+                coverage = tuples_from_lists(result.value.get("coverage", []))
+                novel = self.corpus.observe(coverage)
+                violations = result.value.get("violations", [])
+                score = fitness(violations, coverage, novel)
+                self.corpus.consider(
+                    coverage_signature(coverage),
+                    genome,
+                    score,
+                    sorted(list(item) for item in coverage),
+                )
+                edges = finding_edges(violations)
+                if edges:
+                    fid = finding_id(edges)
+                    if fid not in findings and len(findings) < cfg.max_findings:
+                        findings[fid] = {
+                            "id": fid,
+                            "edges": sorted(list(edge) for edge in edges),
+                            "genome": genome,
+                        }
+            generations += 1
+            if evaluated < cfg.budget:
+                batch = self._next_batch(rng, duration_ns)
+
+        shrink_evals = self._finalize_findings(findings)
+        manifest_path = self._persist(findings)
+        return HuntReport(
+            seed=cfg.seed,
+            budget=cfg.budget,
+            evaluated=evaluated,
+            generations=generations,
+            corpus_size=len(self.corpus),
+            coverage_size=len(self.corpus.seen_coverage),
+            findings=list(findings.values()),
+            manifest_path=manifest_path,
+            shrink_evals=shrink_evals,
+        )
+
+    # -- findings ----------------------------------------------------------------
+
+    def _check_edges(self, genome: Genome) -> frozenset:
+        value = evaluate_genome(
+            genome,
+            seed=self.config.seed,
+            duration_s=self.config.duration_s,
+            nodes=self.config.nodes,
+        )
+        return finding_edges(value.get("violations", []))
+
+    def _finalize_findings(self, findings: dict[str, dict[str, Any]]) -> int:
+        cfg = self.config
+        shrink_evals = 0
+
+        def counted_check(genome: Genome) -> frozenset:
+            nonlocal shrink_evals
+            shrink_evals += 1
+            return self._check_edges(genome)
+
+        for record in findings.values():
+            target = frozenset((node, invariant) for node, invariant in record["edges"])
+            if cfg.shrink:
+                minimal = shrink(record["genome"], target, counted_check)
+            else:
+                minimal = canonical(record["genome"])
+            record["minimal"] = minimal
+            record["primitives"] = len(minimal)
+            spec = genome_to_spec(
+                minimal,
+                seed=cfg.seed,
+                duration_s=cfg.duration_s,
+                nodes=cfg.nodes,
+                name=f"hunt-finding-{record['id']}",
+            )
+            record["spec"] = json.loads(spec.to_json())
+        return shrink_evals
+
+    def _persist(self, findings: dict[str, dict[str, Any]]) -> Optional[Path]:
+        cfg = self.config
+        summary = [
+            {
+                "id": record["id"],
+                "edges": record["edges"],
+                "primitives": record["primitives"],
+                "genome_key": genome_key(record["minimal"]),
+            }
+            for record in sorted(findings.values(), key=lambda r: r["id"])
+        ]
+        if cfg.corpus_dir is None:
+            return None
+        manifest_path = self.corpus.write(cfg.corpus_dir, summary)
+        findings_dir = cfg.corpus_dir / "findings"
+        findings_dir.mkdir(parents=True, exist_ok=True)
+        for record in findings.values():
+            spec_path = findings_dir / f"{record['id']}.json"
+            spec_path.write_text(json.dumps(record["spec"], indent=2) + "\n")
+            record["spec_path"] = str(spec_path)
+        return manifest_path

@@ -1,0 +1,64 @@
+"""Fitness: how the engine ranks genomes, and what counts as a finding.
+
+Fitness has two ingredients, deliberately on different scales:
+
+* **violations** — :func:`repro.oracle.violation_score` (severity-weighted
+  distinct (node, invariant) edges; critical = 100, error = 10,
+  warning = 1). This is the signal the hunt exists to maximize.
+* **coverage** — a small reward per visited tuple plus a larger one per
+  tuple *never seen before across the whole hunt*. Coverage can guide the
+  search to new protocol states but can never outrank even one real
+  error-class violation.
+
+A **finding** is a genome whose run breaks one of the *silent-failure*
+invariants — the ones whose breach means a node lied or corrupted a peer,
+not merely drifted loudly:
+
+* ``monotonicity`` — served time went backwards;
+* ``state-soundness`` — a node served out-of-bound time while claiming OK
+  (the PR-1 silent-drift class);
+* ``untaint-safety`` — a corrupted timestamp propagated through untaint
+  (the paper's F− infection class).
+
+``drift-bound`` and ``freshness`` violations feed fitness but are not
+findings on their own: a big drift with a *Tainted* state is the protocol
+working as designed, and lost availability under DoS is the documented
+fail-closed trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.hunt.coverage import CoverageTuple
+from repro.oracle.violations import violation_score
+
+#: Invariants whose breach makes a genome a finding (see module docstring).
+FINDING_INVARIANTS = ("monotonicity", "state-soundness", "untaint-safety")
+
+#: Reward per coverage tuple the run visited.
+COVERAGE_WEIGHT = 0.5
+#: Extra reward per tuple no earlier genome in this hunt had visited.
+NOVELTY_WEIGHT = 5.0
+
+
+def finding_edges(violations: Iterable[dict]) -> frozenset[tuple[str, str]]:
+    """The (node, invariant) edges of a run that constitute a finding."""
+    return frozenset(
+        (str(v["node"]), str(v["invariant"]))
+        for v in violations
+        if v.get("invariant") in FINDING_INVARIANTS
+    )
+
+
+def fitness(
+    violations: Iterable[dict],
+    coverage: set[CoverageTuple],
+    novel: set[CoverageTuple],
+) -> float:
+    """Score one evaluated genome (higher is better, deterministic)."""
+    return (
+        violation_score(list(violations))
+        + COVERAGE_WEIGHT * len(coverage)
+        + NOVELTY_WEIGHT * len(novel)
+    )

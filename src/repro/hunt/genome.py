@@ -1,0 +1,185 @@
+"""Genomes: attack schedules as the searchable unit of `repro.hunt`.
+
+A genome *is* a timed attack schedule — a list of
+``{"t_ns": int, "primitive": str, "params": {...}}`` entries in exactly
+the format :class:`~repro.experiments.spec.ExperimentSpec` accepts under
+its ``schedule`` key (:data:`~repro.experiments.spec.SCHEDULE_PRIMITIVES`
+is the alphabet). Keeping the two formats identical means a genome needs
+no translation step to become a replayable artifact: wrap it in a spec,
+dump JSON, and ``python -m repro run-spec`` reproduces the run bit-for-bit.
+
+Genomes are canonicalized (entries sorted by time, then primitive, then
+params) so that semantically identical schedules share one
+:func:`genome_key` — the dedup identity of the corpus and the findings
+list. All randomness flows through an explicit ``numpy`` generator owned
+by the engine, never module-level state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.experiments.spec import SCHEDULE_PRIMITIVES, ExperimentSpec
+from repro.sim.units import MILLISECOND
+
+#: A genome: list of schedule entries (see module docstring).
+Genome = list[dict[str, Any]]
+
+#: Fixed primitive order — random draws index into this, so the mapping
+#: from rng state to genome is stable across Python versions.
+PRIMITIVE_KINDS = (
+    "tsc-offset",
+    "tsc-scale",
+    "aex-suppress",
+    "aex-flood",
+    "ta-blackhole",
+    "net-delay",
+)
+
+#: Hard cap on primitives per genome: schedules longer than this explore
+#: nothing new, they just slow evaluation down.
+MAX_PRIMITIVES = 8
+
+#: Earliest schedulable instant. t=0 races cluster construction events;
+#: 1 ms is after wiring but before anything protocol-relevant happens.
+MIN_T_NS = MILLISECOND
+
+#: TSC offset magnitude bounds (ticks). The low end is far below any
+#: drift bound (interesting only through coverage); the high end, ~345 ms
+#: at 2.9 GHz, is below the default 500 ms bound so a *mid-run* offset
+#: alone never trivially violates drift — the search has to find the
+#: calibration-window amplification to score a violation.
+OFFSET_TICKS_RANGE = (1_000_000, 1_000_000_000)
+
+
+def canonical(genome: Genome) -> Genome:
+    """Sort entries into the canonical order and normalize param dicts."""
+    entries = []
+    for entry in genome:
+        params = dict(entry.get("params", {}))
+        entries.append(
+            {"t_ns": int(entry["t_ns"]), "primitive": entry["primitive"], "params": params}
+        )
+    entries.sort(
+        key=lambda e: (
+            e["t_ns"],
+            e["primitive"],
+            json.dumps(e["params"], sort_keys=True),
+        )
+    )
+    return entries
+
+
+def genome_key(genome: Genome) -> str:
+    """Stable content digest of a genome (dedup identity)."""
+    blob = json.dumps(canonical(genome), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def genome_to_spec(
+    genome: Genome,
+    *,
+    seed: int,
+    duration_s: float,
+    nodes: int = 3,
+    name: Optional[str] = None,
+) -> ExperimentSpec:
+    """Wrap a genome in the standard hunt scenario.
+
+    All nodes run the triad-like AEX environment (the paper's measured
+    setup — the INC monitor is active, so "silent" findings mean the
+    monitor was genuinely blind, not absent) with machine-wide interrupts
+    off for clean attribution of every taint to the schedule.
+    """
+    return ExperimentSpec(
+        name=name or f"hunt-{genome_key(genome)}",
+        seed=seed,
+        duration_s=duration_s,
+        nodes=nodes,
+        environments={index: "triad-like" for index in range(1, nodes + 1)},
+        machine_wide_mean_s=None,
+        schedule=canonical(genome),
+    )
+
+
+def validate_genome(genome: Genome, *, duration_s: float, nodes: int = 3) -> None:
+    """Raise :class:`~repro.errors.ConfigurationError` on a bad genome."""
+    if not genome:
+        raise ConfigurationError("genome must contain at least one primitive")
+    if len(genome) > MAX_PRIMITIVES:
+        raise ConfigurationError(
+            f"genome has {len(genome)} primitives, cap is {MAX_PRIMITIVES}"
+        )
+    genome_to_spec(genome, seed=0, duration_s=duration_s, nodes=nodes)
+
+
+# -- random generation --------------------------------------------------------------
+
+
+def log_uniform(rng: np.random.Generator, low: float, high: float) -> float:
+    """Draw log-uniformly from [low, high] — even coverage per decade."""
+    if not 0 < low <= high:
+        raise ConfigurationError(f"need 0 < low <= high, got ({low}, {high})")
+    return float(np.exp(rng.uniform(np.log(low), np.log(high))))
+
+
+def sample_time_ns(rng: np.random.Generator, duration_ns: int) -> int:
+    """Event times are log-uniform over the run: early protocol phases
+    (calibration, first monitor window) are short but attack-critical, so
+    uniform sampling would almost never land in them."""
+    return int(log_uniform(rng, MIN_T_NS, max(duration_ns - 1, MIN_T_NS + 1)))
+
+
+def sample_primitive(
+    rng: np.random.Generator, kind: str, *, duration_ns: int, nodes: int
+) -> dict[str, Any]:
+    """Draw one schedule entry of the given kind."""
+    if kind not in SCHEDULE_PRIMITIVES:
+        raise ConfigurationError(f"unknown primitive kind {kind!r}")
+    t_ns = sample_time_ns(rng, duration_ns)
+    node = int(rng.integers(1, nodes + 1))
+    if kind == "tsc-offset":
+        sign = -1 if rng.integers(0, 2) else 1
+        magnitude = int(log_uniform(rng, *OFFSET_TICKS_RANGE))
+        params: dict[str, Any] = {"offset_ticks": sign * magnitude, "victim": node}
+    elif kind == "tsc-scale":
+        # Rate error up to ±5%: 1% already crosses a 500 ms bound in 50 s.
+        scale = float(np.round(np.exp(rng.uniform(np.log(0.95), np.log(1.05))), 6))
+        if scale == 1.0:
+            scale = 1.001
+        params = {"scale": scale, "victim": node}
+    elif kind == "aex-suppress":
+        params = {"node": node, "duration_ms": int(log_uniform(rng, 100, 20_000))}
+    elif kind == "aex-flood":
+        params = {
+            "node": node,
+            "mean_us": int(log_uniform(rng, 100, 1_000_000)),
+            "duration_ms": int(log_uniform(rng, 100, 10_000)),
+        }
+    elif kind == "ta-blackhole":
+        params = {"duration_ms": int(log_uniform(rng, 500, 20_000))}
+    else:  # net-delay
+        params = {
+            "victim": node,
+            "mode": "fminus" if rng.integers(0, 2) else "fplus",
+            "delay_ms": int(log_uniform(rng, 10, 300)),
+            "duration_ms": int(log_uniform(rng, 500, 20_000)),
+        }
+    return {"t_ns": t_ns, "primitive": kind, "params": params}
+
+
+def random_genome(
+    rng: np.random.Generator, *, duration_ns: int, nodes: int
+) -> Genome:
+    """Draw a fresh genome of 1–3 primitives (growth comes from mutation)."""
+    length = int(rng.integers(1, 4))
+    entries = []
+    for _ in range(length):
+        kind = PRIMITIVE_KINDS[int(rng.integers(0, len(PRIMITIVE_KINDS)))]
+        entries.append(sample_primitive(rng, kind, duration_ns=duration_ns, nodes=nodes))
+    return canonical(entries)

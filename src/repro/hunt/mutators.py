@@ -1,0 +1,107 @@
+"""Genome mutation and crossover operators.
+
+Each operator maps (rng, genome) to a new canonical genome without
+touching its input. The operator set is the usual schedule-fuzzing mix:
+structural moves (add / drop / replace a primitive) explore the alphabet,
+local moves (perturb a time or a numeric parameter multiplicatively)
+refine schedules the fitness already likes, and one-point time crossover
+recombines two parents' early and late halves.
+
+Numeric perturbation is multiplicative (``value * exp(N(0, σ))``), which
+matches the log-uniform sampling ranges in :mod:`repro.hunt.genome`:
+a step of "one sigma" means the same thing at 1 ms as at 10 s.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.hunt.genome import (
+    Genome,
+    MAX_PRIMITIVES,
+    MIN_T_NS,
+    PRIMITIVE_KINDS,
+    canonical,
+    sample_primitive,
+)
+
+#: Multiplicative bounds per numeric param (clamping keeps every mutated
+#: genome valid under spec validation without a retry loop).
+_PARAM_BOUNDS: dict[str, tuple[float, float]] = {
+    "offset_ticks": (1.0, 2_000_000_000.0),  # magnitude; sign is preserved
+    "scale": (0.5, 2.0),
+    "mean_us": (1.0, 10_000_000.0),
+    "delay_ms": (1.0, 1_000.0),
+    "duration_ms": (1.0, 60_000.0),
+}
+
+
+def _perturb(rng: np.random.Generator, value: float, low: float, high: float) -> float:
+    factor = float(np.exp(rng.normal(0.0, 0.5)))
+    return min(max(value * factor, low), high)
+
+
+def _tweak_time(rng: np.random.Generator, entry: dict[str, Any], duration_ns: int) -> None:
+    t_ns = int(_perturb(rng, max(entry["t_ns"], MIN_T_NS), MIN_T_NS, duration_ns - 1))
+    entry["t_ns"] = t_ns
+
+
+def _tweak_param(rng: np.random.Generator, entry: dict[str, Any]) -> bool:
+    """Perturb one numeric param in place; False if none is tweakable."""
+    numeric = [key for key in sorted(entry["params"]) if key in _PARAM_BOUNDS]
+    if not numeric:
+        return False
+    key = numeric[int(rng.integers(0, len(numeric)))]
+    low, high = _PARAM_BOUNDS[key]
+    value = entry["params"][key]
+    if key == "offset_ticks":
+        sign = -1 if value < 0 else 1
+        magnitude = _perturb(rng, abs(value), low, high)
+        entry["params"][key] = sign * max(int(magnitude), 1)
+    elif key == "scale":
+        scale = float(np.round(_perturb(rng, value, low, high), 6))
+        entry["params"][key] = 1.001 if scale == 1.0 else scale
+    else:
+        entry["params"][key] = max(int(_perturb(rng, value, low, high)), 1)
+    return True
+
+
+def mutate(
+    rng: np.random.Generator, genome: Genome, *, duration_ns: int, nodes: int
+) -> Genome:
+    """One random mutation; always returns a valid canonical genome."""
+    entries = [dict(e, params=dict(e["params"])) for e in genome]
+    op = int(rng.integers(0, 5))
+    if op == 0 and len(entries) < MAX_PRIMITIVES:  # add
+        kind = PRIMITIVE_KINDS[int(rng.integers(0, len(PRIMITIVE_KINDS)))]
+        entries.append(sample_primitive(rng, kind, duration_ns=duration_ns, nodes=nodes))
+    elif op == 1 and len(entries) > 1:  # drop
+        entries.pop(int(rng.integers(0, len(entries))))
+    elif op == 2:  # tweak time
+        _tweak_time(rng, entries[int(rng.integers(0, len(entries)))], duration_ns)
+    elif op == 3:  # tweak numeric param
+        entry = entries[int(rng.integers(0, len(entries)))]
+        if not _tweak_param(rng, entry):
+            _tweak_time(rng, entry, duration_ns)
+    else:  # replace
+        index = int(rng.integers(0, len(entries)))
+        kind = PRIMITIVE_KINDS[int(rng.integers(0, len(PRIMITIVE_KINDS)))]
+        entries[index] = sample_primitive(rng, kind, duration_ns=duration_ns, nodes=nodes)
+    return canonical(entries)
+
+
+def crossover(rng: np.random.Generator, first: Genome, second: Genome) -> Genome:
+    """One-point time crossover: first's early entries + second's late ones.
+
+    The cut is drawn from the union of entry times so it always separates
+    *something*; an empty child falls back to the first parent.
+    """
+    times = sorted({entry["t_ns"] for entry in first} | {entry["t_ns"] for entry in second})
+    cut = times[int(rng.integers(0, len(times)))]
+    child = [dict(e, params=dict(e["params"])) for e in first if e["t_ns"] <= cut]
+    child += [dict(e, params=dict(e["params"])) for e in second if e["t_ns"] > cut]
+    if not child:
+        child = [dict(e, params=dict(e["params"])) for e in first]
+    return canonical(child[:MAX_PRIMITIVES])

@@ -1,0 +1,180 @@
+"""Delta-debugging shrinker: findings become *minimal* reproducers.
+
+A raw finding genome usually carries passengers — primitives that were
+along for the ride when the interesting one landed. The shrinker reduces
+it while preserving the finding, where "preserving" means the reduced
+genome's run still exhibits **at least the target finding edges** (the
+(node, invariant) pairs that made it a finding); every candidate is
+re-validated through a full oracle-observed run, never guessed.
+
+Three phases, each to fixpoint, in order of payoff:
+
+* **drop** — remove one primitive at a time (classic ddmin at
+  granularity 1; genomes are ≤ 8 entries, so single-removal passes are
+  exhaustive enough);
+* **merge** — combine same-kind primitives aimed at the same target
+  (two TSC offsets on one victim become one with the summed offset at
+  the earlier time);
+* **normalize** — simplify surviving params: halve TSC offset
+  magnitudes while the finding persists (ending within 2× of the true
+  threshold), shorten durations, and round times down to whole
+  milliseconds.
+
+Every check is deterministic, so shrinking is too. ``max_evals`` bounds
+the total oracle runs; results are cached by genome key so revisited
+candidates are free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hunt.genome import Genome, canonical, genome_key
+from repro.sim.units import MILLISECOND
+
+#: Re-evaluation budget per finding (each eval is one full simulated run).
+DEFAULT_MAX_EVALS = 120
+
+CheckFn = Callable[[Genome], frozenset]
+
+
+class _Checker:
+    """Budgeted, memoized wrapper around the finding-edges check."""
+
+    def __init__(self, check: CheckFn, target: frozenset, max_evals: int) -> None:
+        self._check = check
+        self._target = target
+        self._budget = max_evals
+        self._cache: dict[str, bool] = {}
+        self.evals = 0
+
+    def preserved(self, genome: Genome) -> bool:
+        if not genome:
+            return False
+        key = genome_key(genome)
+        if key in self._cache:
+            return self._cache[key]
+        if self.evals >= self._budget:
+            return False
+        self.evals += 1
+        result = self._target <= self._check(genome)
+        self._cache[key] = result
+        return result
+
+
+def _copy(genome: Genome) -> Genome:
+    return [dict(e, params=dict(e["params"])) for e in genome]
+
+
+def _drop_phase(genome: Genome, checker: _Checker) -> Genome:
+    changed = True
+    while changed and len(genome) > 1:
+        changed = False
+        for index in range(len(genome)):
+            candidate = canonical(genome[:index] + genome[index + 1 :])
+            if checker.preserved(candidate):
+                genome = candidate
+                changed = True
+                break
+    return genome
+
+
+def _merge_target(entry: dict) -> tuple:
+    params = entry["params"]
+    return (entry["primitive"], params.get("victim"), params.get("node"))
+
+
+def _merge_phase(genome: Genome, checker: _Checker) -> Genome:
+    changed = True
+    while changed and len(genome) > 1:
+        changed = False
+        for i in range(len(genome)):
+            for j in range(i + 1, len(genome)):
+                first, second = genome[i], genome[j]
+                if first["primitive"] != "tsc-offset":
+                    continue
+                if _merge_target(first) != _merge_target(second):
+                    continue
+                merged = dict(first, params=dict(first["params"]))
+                merged["t_ns"] = min(first["t_ns"], second["t_ns"])
+                merged["params"]["offset_ticks"] = (
+                    first["params"]["offset_ticks"] + second["params"]["offset_ticks"]
+                )
+                if merged["params"]["offset_ticks"] == 0:
+                    continue
+                rest = [e for k, e in enumerate(genome) if k not in (i, j)]
+                candidate = canonical(rest + [merged])
+                if checker.preserved(candidate):
+                    genome = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+    return genome
+
+
+def _normalize_phase(genome: Genome, checker: _Checker) -> Genome:
+    # Halve TSC offset magnitudes toward the finding threshold.
+    for index, entry in enumerate(genome):
+        if entry["primitive"] != "tsc-offset":
+            continue
+        while abs(entry["params"]["offset_ticks"]) > 1:
+            candidate = _copy(genome)
+            candidate[index]["params"]["offset_ticks"] = (
+                entry["params"]["offset_ticks"] // 2
+                if entry["params"]["offset_ticks"] > 0
+                else -((-entry["params"]["offset_ticks"]) // 2)
+            )
+            if candidate[index]["params"]["offset_ticks"] == 0:
+                break
+            candidate = canonical(candidate)
+            if not checker.preserved(candidate):
+                break
+            genome = candidate
+            entry = genome[index]
+    # Shorten windowed primitives.
+    for index, entry in enumerate(genome):
+        while entry["params"].get("duration_ms", 0) > 1:
+            candidate = _copy(genome)
+            candidate[index]["params"]["duration_ms"] = max(
+                entry["params"]["duration_ms"] // 2, 1
+            )
+            candidate = canonical(candidate)
+            if not checker.preserved(candidate):
+                break
+            genome = candidate
+            entry = genome[index]
+    # Round times down to whole milliseconds.
+    for index, entry in enumerate(genome):
+        rounded = (entry["t_ns"] // MILLISECOND) * MILLISECOND
+        if rounded != entry["t_ns"] and rounded >= MILLISECOND:
+            candidate = _copy(genome)
+            candidate[index]["t_ns"] = rounded
+            candidate = canonical(candidate)
+            if checker.preserved(candidate):
+                genome = candidate
+    return genome
+
+
+def shrink(
+    genome: Genome,
+    target_edges: frozenset,
+    check: CheckFn,
+    max_evals: int = DEFAULT_MAX_EVALS,
+) -> Genome:
+    """Reduce ``genome`` while ``check`` still reports ``target_edges``.
+
+    ``check`` maps a genome to the finding edges its run exhibits (see
+    :func:`repro.hunt.fitness.finding_edges`). The original genome is
+    returned unchanged if the target doesn't reproduce at all — a
+    shrinker must never *invent* a smaller schedule for a finding it
+    cannot confirm.
+    """
+    genome = canonical(genome)
+    checker = _Checker(check, target_edges, max_evals)
+    if not checker.preserved(genome):
+        return genome
+    genome = _drop_phase(genome, checker)
+    genome = _merge_phase(genome, checker)
+    genome = _normalize_phase(genome, checker)
+    return genome

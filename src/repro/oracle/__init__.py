@@ -25,7 +25,14 @@ from repro.oracle.policy import (
     install_oracle_policy,
     oracle_policy,
 )
-from repro.oracle.violations import INVARIANTS, SEVERITIES, Violation, violation_set
+from repro.oracle.violations import (
+    INVARIANTS,
+    SEVERITIES,
+    SEVERITY_WEIGHTS,
+    Violation,
+    violation_score,
+    violation_set,
+)
 
 __all__ = [
     "ANY_NODE",
@@ -36,6 +43,7 @@ __all__ = [
     "OracleConfig",
     "OraclePolicy",
     "SEVERITIES",
+    "SEVERITY_WEIGHTS",
     "Violation",
     "attach_from_policy",
     "clear_oracle_policy",
@@ -46,6 +54,7 @@ __all__ = [
     "is_expected",
     "oracle_policy",
     "unexpected_keys",
+    "violation_score",
     "violation_set",
     "watch_cluster",
 ]

@@ -47,7 +47,7 @@ from typing import TYPE_CHECKING, Iterable, Optional
 from repro.core.probes import ProbeEvent
 from repro.core.states import NodeState
 from repro.oracle.expectations import expected_for, is_expected
-from repro.oracle.violations import Violation
+from repro.oracle.violations import Violation, violation_score
 from repro.sim.units import MILLISECOND, SECOND
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -318,6 +318,16 @@ class InvariantOracle:
         """Violations not covered by the governing expected set."""
         expected = self.expected_keys()
         return [v for v in self.violations if not is_expected(v.key, expected)]
+
+    def score(self) -> float:
+        """Severity-weighted fitness of the observed violations.
+
+        The search engine's oracle hook (:mod:`repro.hunt.fitness`):
+        delegates to :func:`~repro.oracle.violations.violation_score`
+        over *all* violations, expected or not — expected-set filtering
+        is the replay contract's concern, not the fitness landscape's.
+        """
+        return violation_score(self.violations)
 
     def render_report(self) -> str:
         """Human-readable summary for CLI output."""

@@ -36,6 +36,16 @@ SEVERITIES = {
     "freshness": "warning",
 }
 
+#: Fitness weight per severity class — the oracle's hook into the attack
+#: search engine (:mod:`repro.hunt.fitness`). Critical invariants dominate
+#: by two orders of magnitude so a single silent failure outranks any pile
+#: of liveness warnings.
+SEVERITY_WEIGHTS = {
+    "critical": 100.0,
+    "error": 10.0,
+    "warning": 1.0,
+}
+
 
 @dataclass(frozen=True)
 class Violation:
@@ -94,3 +104,30 @@ class Violation:
 def violation_set(violations) -> set[tuple[str, str]]:
     """Collapse violation records to their (node, invariant) pairs."""
     return {violation.key for violation in violations}
+
+
+def violation_score(violations) -> float:
+    """Fitness contribution of a violation list (oracle → search hook).
+
+    Accepts :class:`Violation` records or their ``to_dict`` form (the
+    shape that crosses fleet worker boundaries). The score is a pure
+    function of the violation multiset: each distinct (node, invariant)
+    edge contributes its severity weight once, plus a small capped
+    per-record term so a schedule that breaks an invariant *repeatedly*
+    outranks one that grazes it — without letting record floods dominate.
+    """
+    edge_counts: dict[tuple[str, str], int] = {}
+    for violation in violations:
+        if isinstance(violation, Violation):
+            key, invariant = violation.key, violation.invariant
+        else:
+            key = (str(violation["node"]), str(violation["invariant"]))
+            invariant = key[1]
+        if invariant not in INVARIANTS:
+            raise ConfigurationError(f"unknown invariant {invariant!r} in violation record")
+        edge_counts[key] = edge_counts.get(key, 0) + 1
+    score = 0.0
+    for (_node, invariant), count in edge_counts.items():
+        score += SEVERITY_WEIGHTS[SEVERITIES[invariant]]
+        score += 0.1 * min(count - 1, 10)
+    return score

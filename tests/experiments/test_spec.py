@@ -134,3 +134,166 @@ class TestExecution:
         spec = minimal_spec(ta_count=3, duration_s=10)
         experiment = spec.build()
         assert len(experiment.cluster.tas) == 3
+
+
+def _entry(**overrides):
+    entry = {
+        "t_ns": 500_000_000,
+        "primitive": "tsc-offset",
+        "params": {"offset_ticks": -150_000_000, "victim": 1},
+    }
+    entry.update(overrides)
+    return entry
+
+
+class TestScheduleValidation:
+    def test_valid_schedule_accepted(self):
+        spec = minimal_spec(schedule=[_entry()])
+        assert spec.schedule[0]["primitive"] == "tsc-offset"
+
+    def test_errors_name_the_offending_entry_index(self):
+        with pytest.raises(ConfigurationError, match=r"schedule\[1\]"):
+            minimal_spec(schedule=[_entry(), {"t_ns": 1, "primitive": "warp"}])
+
+    def test_non_dict_entry_rejected(self):
+        with pytest.raises(ConfigurationError, match=r"schedule\[0\].*object"):
+            minimal_spec(schedule=["tsc-offset"])
+
+    def test_unknown_entry_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown keys.*when"):
+            minimal_spec(schedule=[_entry(when=3)])
+
+    def test_missing_t_ns_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing keys.*t_ns"):
+            minimal_spec(schedule=[{"primitive": "ta-blackhole"}])
+
+    def test_negative_or_bool_t_ns_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-negative integer"):
+            minimal_spec(schedule=[_entry(t_ns=-1)])
+        with pytest.raises(ConfigurationError, match="non-negative integer"):
+            minimal_spec(schedule=[_entry(t_ns=True)])
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown primitive 'warp'"):
+            minimal_spec(schedule=[_entry(primitive="warp")])
+
+    def test_missing_required_params_rejected(self):
+        with pytest.raises(ConfigurationError, match=r"aex-flood params missing.*mean_us"):
+            minimal_spec(
+                schedule=[{"t_ns": 1, "primitive": "aex-flood", "params": {"node": 1}}]
+            )
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown params.*sneaky"):
+            minimal_spec(
+                schedule=[_entry(params={"offset_ticks": 1, "sneaky": True})]
+            )
+
+    def test_zero_offset_rejected(self):
+        with pytest.raises(ConfigurationError, match="offset_ticks must be non-zero"):
+            minimal_spec(schedule=[_entry(params={"offset_ticks": 0})])
+
+    def test_bad_net_delay_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="mode must be"):
+            minimal_spec(
+                schedule=[
+                    {
+                        "t_ns": 1,
+                        "primitive": "net-delay",
+                        "params": {"victim": 1, "mode": "sideways"},
+                    }
+                ]
+            )
+
+    def test_victim_outside_cluster_rejected(self):
+        with pytest.raises(ConfigurationError, match="victim=9 outside cluster"):
+            minimal_spec(schedule=[_entry(params={"offset_ticks": 1, "victim": 9})])
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ConfigurationError, match="duration_ms must be positive"):
+            minimal_spec(
+                schedule=[
+                    {
+                        "t_ns": 1,
+                        "primitive": "ta-blackhole",
+                        "params": {"duration_ms": 0},
+                    }
+                ]
+            )
+
+    def test_blackhole_victims_must_be_nonempty_list(self):
+        with pytest.raises(ConfigurationError, match="victims must be a non-empty list"):
+            minimal_spec(
+                schedule=[
+                    {"t_ns": 1, "primitive": "ta-blackhole", "params": {"victims": []}}
+                ]
+            )
+
+
+class TestScheduleBuild:
+    def test_schedule_survives_json_round_trip(self):
+        schedule = [
+            _entry(),
+            {
+                "t_ns": 2_000_000_000,
+                "primitive": "net-delay",
+                "params": {"victim": 2, "mode": "fminus", "delay_ms": 80, "duration_ms": 9_000},
+            },
+        ]
+        spec = minimal_spec(schedule=schedule)
+        again = ExperimentSpec.from_json(spec.to_json())
+        assert again.schedule == spec.schedule == schedule
+
+    def test_all_primitives_compile(self):
+        spec = minimal_spec(
+            environments={"1": "triad-like", "2": "low-aex", "3": "low-aex"},
+            schedule=[
+                _entry(),
+                {"t_ns": 2, "primitive": "tsc-scale", "params": {"scale": 1.01, "victim": 2}},
+                {"t_ns": 3, "primitive": "aex-suppress", "params": {"node": 1, "duration_ms": 50}},
+                {"t_ns": 4, "primitive": "aex-flood",
+                 "params": {"node": 2, "mean_us": 1_000, "duration_ms": 50}},
+                {"t_ns": 5, "primitive": "ta-blackhole", "params": {"duration_ms": 50}},
+                {"t_ns": 6, "primitive": "net-delay",
+                 "params": {"victim": 3, "mode": "fplus", "delay_ms": 10, "duration_ms": 50}},
+            ],
+        )
+        experiment = spec.build()
+        # blackhole + net-delay register as network adversaries:
+        assert len(experiment.attackers) == 2
+        assert experiment.expected_violations
+
+    def test_schedule_creates_paused_source_on_low_aex_node(self):
+        spec = minimal_spec(
+            environments={"1": "triad-like", "2": "low-aex", "3": "low-aex"},
+            schedule=[
+                {
+                    "t_ns": 3_000_000_000,
+                    "primitive": "aex-flood",
+                    "params": {"node": 2, "mean_us": 1_000, "duration_ms": 100},
+                }
+            ],
+        )
+        experiment = spec.build()
+        machine = experiment.cluster.node_machines[1]
+        core = experiment.cluster.monitoring_cores[1]
+        assert machine.aex_sources[core].enabled is False
+
+    def test_scheduled_aex_suppress_window_silences_the_node(self):
+        spec = minimal_spec(
+            duration_s=20,
+            schedule=[
+                {
+                    "t_ns": 1_000_000,
+                    "primitive": "aex-suppress",
+                    "params": {"node": 1, "duration_ms": 10_000},
+                }
+            ],
+        )
+        experiment = spec.run()
+        assert all(
+            t >= 10 * units.SECOND for t in experiment.node(1).stats.aex_times_ns
+        )
+        assert any(
+            t < 10 * units.SECOND for t in experiment.node(3).stats.aex_times_ns
+        )

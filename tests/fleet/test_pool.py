@@ -173,3 +173,23 @@ class TestParallel:
         assert not results[0].ok
         assert "timed out" in results[0].error
         assert results[1].ok and results[1].value["echo"] == 1
+
+
+class TestPeakRss:
+    def test_executed_results_report_peak_rss(self, tmp_path):
+        [result] = FleetPool(jobs=1).run(_echo_tasks(1))
+        assert result.ok
+        assert result.peak_rss_kb > 0
+
+    def test_cache_hits_do_not_fake_a_measurement(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        pool = FleetPool(jobs=1)
+        pool.run(_echo_tasks(1), cache=cache)
+        [warm] = pool.run(_echo_tasks(1), cache=cache)
+        assert warm.from_cache
+        assert warm.peak_rss_kb == 0
+
+    @needs_fork
+    def test_parallel_workers_report_peak_rss(self):
+        results = FleetPool(jobs=2).run(_echo_tasks(4))
+        assert all(r.peak_rss_kb > 0 for r in results)

@@ -7,7 +7,7 @@ from repro.fleet.tasks import TaskResult
 from repro.fleet.telemetry import FleetTelemetry
 
 
-def _result(name="t", ok=True, cached=False, sim_ns=0, attempts=1, error=""):
+def _result(name="t", ok=True, cached=False, sim_ns=0, attempts=1, error="", peak_rss_kb=0):
     return TaskResult(
         task_hash="deadbeef",
         name=name,
@@ -17,6 +17,7 @@ def _result(name="t", ok=True, cached=False, sim_ns=0, attempts=1, error=""):
         sim_ns=sim_ns,
         attempts=attempts,
         from_cache=cached,
+        peak_rss_kb=peak_rss_kb,
     )
 
 
@@ -94,6 +95,33 @@ class TestJsonl:
         assert records[1]["attempts"] == 2
         assert records[2]["total"] == 2
         assert records[2]["cache_hits"] == 0
+
+    def test_task_records_carry_attempts_and_peak_rss(self, tmp_path):
+        telemetry = FleetTelemetry()
+        telemetry.start(2)
+        telemetry.on_result(_result("a", attempts=3, peak_rss_kb=120_000))
+        telemetry.on_result(_result("b", peak_rss_kb=90_000))
+        telemetry.finish()
+        path = telemetry.write_jsonl(tmp_path / "t.jsonl")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        task_records = [r for r in records if r["event"] == "task"]
+        for record in task_records:
+            assert set(record) >= {
+                "task",
+                "hash",
+                "ok",
+                "from_cache",
+                "attempts",
+                "wall_s",
+                "sim_ns",
+                "violations",
+                "peak_rss_kb",
+                "error",
+            }
+        assert task_records[0]["attempts"] == 3
+        assert task_records[0]["peak_rss_kb"] == 120_000
+        # Summary carries the high-water mark across all tasks.
+        assert records[-1]["peak_rss_kb"] == 120_000
 
     def test_summary_appended_if_finish_not_called(self, tmp_path):
         telemetry = FleetTelemetry()

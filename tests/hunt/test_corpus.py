@@ -1,0 +1,110 @@
+"""Tests for the coverage-keyed corpus and its deterministic persistence."""
+
+import json
+
+from repro.hunt.corpus import MANIFEST_NAME, Corpus
+from repro.hunt.genome import genome_key
+
+
+def _genome(ticks):
+    return [
+        {
+            "t_ns": 500_000_000,
+            "primitive": "tsc-offset",
+            "params": {"offset_ticks": ticks, "victim": 1},
+        }
+    ]
+
+
+COV_A = [["OK", "none", "pre-calib"]]
+COV_B = [["OK", "none", "pre-calib"], ["Tainted", "os", "calibrated"]]
+
+
+class TestObserve:
+    def test_first_observation_is_novel_second_is_not(self):
+        corpus = Corpus()
+        coverage = {("OK", "none", "pre-calib")}
+        assert corpus.observe(set(coverage)) == coverage
+        assert corpus.observe(set(coverage)) == set()
+        assert corpus.seen_coverage == coverage
+
+
+class TestConsider:
+    def test_new_signature_is_adopted(self):
+        corpus = Corpus()
+        assert corpus.consider("sig-a", _genome(-1), 1.0, COV_A)
+        assert len(corpus) == 1
+
+    def test_higher_score_replaces_champion(self):
+        corpus = Corpus()
+        corpus.consider("sig-a", _genome(-1), 1.0, COV_A)
+        assert corpus.consider("sig-a", _genome(-2), 2.0, COV_A)
+        assert corpus.entries["sig-a"].genome == _genome(-2)
+
+    def test_ties_keep_the_incumbent(self):
+        corpus = Corpus()
+        corpus.consider("sig-a", _genome(-1), 1.0, COV_A)
+        assert not corpus.consider("sig-a", _genome(-2), 1.0, COV_A)
+        assert not corpus.consider("sig-a", _genome(-3), 0.5, COV_A)
+        assert corpus.entries["sig-a"].genome == _genome(-1)
+
+    def test_ranked_orders_by_score_then_signature(self):
+        corpus = Corpus()
+        corpus.consider("sig-b", _genome(-1), 1.0, COV_A)
+        corpus.consider("sig-a", _genome(-2), 1.0, COV_A)
+        corpus.consider("sig-c", _genome(-3), 9.0, COV_B)
+        assert [entry.signature for entry in corpus.ranked()] == [
+            "sig-c",
+            "sig-a",
+            "sig-b",
+        ]
+
+
+class TestPersistence:
+    def _populate(self, corpus, order):
+        for signature, ticks, score, coverage in order:
+            corpus.observe({tuple(item) for item in coverage})
+            corpus.consider(signature, _genome(ticks), score, coverage)
+
+    def test_manifest_is_insertion_order_independent(self):
+        rows = [
+            ("sig-a", -1, 1.0, COV_A),
+            ("sig-b", -2, 7.0, COV_B),
+            ("sig-c", -3, 3.0, COV_A),
+        ]
+        first, second = Corpus(), Corpus()
+        self._populate(first, rows)
+        self._populate(second, list(reversed(rows)))
+        dump = lambda c: json.dumps(c.manifest(), sort_keys=True)  # noqa: E731
+        assert dump(first) == dump(second)
+
+    def test_write_emits_manifest_and_one_file_per_champion(self, tmp_path):
+        corpus = Corpus()
+        self._populate(corpus, [("sig-a", -1, 1.0, COV_A), ("sig-b", -2, 2.0, COV_B)])
+        manifest_path = corpus.write(tmp_path, findings=[{"id": "abc"}])
+        assert manifest_path == tmp_path / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["findings"] == [{"id": "abc"}]
+        assert [e["signature"] for e in manifest["entries"]] == ["sig-a", "sig-b"]
+        assert sorted(p.name for p in (tmp_path / "genomes").iterdir()) == [
+            "sig-a.json",
+            "sig-b.json",
+        ]
+        champion = json.loads((tmp_path / "genomes" / "sig-a.json").read_text())
+        assert champion["genome_key"] == genome_key(_genome(-1))
+
+    def test_write_then_load_round_trips(self, tmp_path):
+        corpus = Corpus()
+        self._populate(corpus, [("sig-a", -1, 1.0, COV_A), ("sig-b", -2, 2.0, COV_B)])
+        corpus.write(tmp_path)
+        loaded = Corpus.load(tmp_path)
+        assert set(loaded.entries) == set(corpus.entries)
+        for signature, entry in corpus.entries.items():
+            assert loaded.entries[signature].genome == entry.genome
+            assert loaded.entries[signature].score == entry.score
+        assert loaded.seen_coverage == {
+            tuple(item) for e in corpus.entries.values() for item in e.coverage
+        }
+
+    def test_load_missing_directory_gives_empty_corpus(self, tmp_path):
+        assert len(Corpus.load(tmp_path / "nope")) == 0

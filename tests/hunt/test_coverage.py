@@ -1,0 +1,103 @@
+"""Tests for the protocol-state coverage collector."""
+
+from dataclasses import dataclass
+
+from repro.core.probes import ProbeEvent
+from repro.core.states import NodeState
+from repro.hunt.coverage import (
+    NO_TAINT,
+    PRE_STATE,
+    CoverageCollector,
+    coverage_signature,
+    tuples_from_lists,
+)
+from repro.hunt.evaluate import evaluate_genome
+
+
+@dataclass
+class _Outcome:
+    source: str
+
+
+def _event(kind, node="node-1", **data):
+    return ProbeEvent(time_ns=0, node=node, kind=kind, data=data)
+
+
+class TestCollector:
+    def test_state_probe_creates_a_tuple(self):
+        collector = CoverageCollector()
+        collector(_event("state", state=NodeState.OK))
+        assert collector.tuples == {(NodeState.OK.value, NO_TAINT, "pre-calib")}
+
+    def test_taint_cause_is_tracked_per_node(self):
+        collector = CoverageCollector()
+        collector(_event("taint", cause="os"))
+        collector(_event("state", state=NodeState.TAINTED))
+        collector(_event("state", node="node-2", state=NodeState.OK))
+        assert (NodeState.TAINTED.value, "os", "pre-calib") in collector.tuples
+        assert (NodeState.OK.value, NO_TAINT, "pre-calib") in collector.tuples
+
+    def test_untaint_replaces_cause_with_source_class(self):
+        collector = CoverageCollector()
+        collector(_event("taint", cause="os"))
+        collector(_event("untaint", outcome=_Outcome(source="peer:node-2")))
+        collector(_event("state", state=NodeState.OK))
+        assert (NodeState.OK.value, "untaint:peer", "pre-calib") in collector.tuples
+        # node-3 recovery via the same class is nothing new:
+        collector(_event("untaint", node="node-2", outcome=_Outcome(source="peer:node-3")))
+        collector(_event("state", node="node-2", state=NodeState.OK))
+        assert (NodeState.OK.value, "untaint:peer", "pre-calib") in collector.tuples
+
+    def test_calibration_phase_saturates_at_recalibrated(self):
+        collector = CoverageCollector()
+        collector(_event("state", state=NodeState.FULL_CALIB))
+        for expected in ("calibrated", "recalibrated", "recalibrated"):
+            collector(_event("calibration", frequency_hz=2.9e9))
+            assert any(phase == expected for _, _, phase in collector.tuples)
+
+    def test_serve_probes_are_ignored(self):
+        collector = CoverageCollector()
+        collector(_event("serve", timestamp_ns=1))
+        assert collector.tuples == set()
+
+    def test_as_lists_round_trips_sorted(self):
+        collector = CoverageCollector()
+        collector(_event("state", node="node-2", state=NodeState.OK))
+        collector(_event("state", state=NodeState.FULL_CALIB))
+        raw = collector.as_lists()
+        assert raw == sorted(raw)
+        assert tuples_from_lists(raw) == collector.tuples
+
+
+class TestSignature:
+    def test_order_independent(self):
+        a = {("OK", "none", "pre-calib"), ("Tainted", "os", "calibrated")}
+        assert coverage_signature(a) == coverage_signature(set(reversed(sorted(a))))
+
+    def test_distinct_sets_get_distinct_signatures(self):
+        assert coverage_signature({("OK", "none", "pre-calib")}) != coverage_signature(
+            {("OK", "os", "pre-calib")}
+        )
+
+
+class TestLiveRun:
+    def test_real_run_produces_well_formed_coverage(self):
+        genome = [
+            {
+                "t_ns": 3_000_000_000,
+                "primitive": "aex-flood",
+                "params": {"node": 1, "mean_us": 100_000, "duration_ms": 2_000},
+            }
+        ]
+        value = evaluate_genome(genome, seed=7, duration_s=8.0, nodes=3)
+        coverage = tuples_from_lists(value["coverage"])
+        assert coverage  # a run always visits at least one protocol state
+        states = {NodeState.OK.value, NodeState.TAINTED.value,
+                  NodeState.FULL_CALIB.value, NodeState.REF_CALIB.value, PRE_STATE}
+        for state, cause, phase in coverage:
+            assert state in states
+            assert phase in ("pre-calib", "calibrated", "recalibrated")
+            assert isinstance(cause, str) and cause
+        # The flood actually tainted someone after calibration.
+        assert any(state == NodeState.TAINTED.value and phase != "pre-calib"
+                   for state, _, phase in coverage)

@@ -1,0 +1,173 @@
+"""Tests for the hunt engine: determinism, and the tier-1 regression that
+the search rediscovers the silent-drift finding class from a pinned seed."""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.spec import ExperimentSpec
+from repro.hunt.corpus import MANIFEST_NAME
+from repro.hunt.engine import HuntConfig, HuntEngine, archetype_genomes, finding_id
+from repro.hunt.evaluate import evaluate_genome
+from repro.hunt.fitness import finding_edges
+from repro.hunt.genome import PRIMITIVE_KINDS, canonical, validate_genome
+from repro.sim.units import SECOND
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+
+#: Initial full calibration completes ~2.1 s into a run; offsets landing
+#: before that are amplified into silent frequency error.
+CALIB_WINDOW_NS = int(2.1 * SECOND)
+
+
+def _hunt(tmp_path, **overrides):
+    config = dict(
+        seed=7,
+        budget=16,
+        jobs=1,
+        duration_s=30.0,
+        nodes=3,
+        population=16,
+        corpus_dir=tmp_path / "corpus",
+    )
+    config.update(overrides)
+    return HuntEngine(HuntConfig(**config)).run()
+
+
+class TestArchetypes:
+    def test_cover_every_primitive_family(self):
+        genomes = archetype_genomes(30 * SECOND, nodes=3)
+        kinds = {entry["primitive"] for genome in genomes for entry in genome}
+        assert kinds == set(PRIMITIVE_KINDS)
+
+    def test_are_valid_and_canonical(self):
+        for genome in archetype_genomes(30 * SECOND, nodes=3):
+            validate_genome(genome, duration_s=30.0, nodes=3)
+            assert genome == canonical(genome)
+
+
+class TestConfig:
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ConfigurationError, match="budget"):
+            HuntConfig(budget=0)
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ConfigurationError, match="population"):
+            HuntConfig(population=0)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ConfigurationError, match="duration"):
+            HuntConfig(duration_s=0)
+
+
+class TestFindingId:
+    def test_stable_across_edge_order(self):
+        edges = frozenset({("node-1", "state-soundness"), ("node-2", "untaint-safety")})
+        assert finding_id(edges) == finding_id(frozenset(sorted(edges, reverse=True)))
+
+    def test_distinct_edge_sets_differ(self):
+        assert finding_id(frozenset({("node-1", "monotonicity")})) != finding_id(
+            frozenset({("node-1", "state-soundness")})
+        )
+
+
+class TestSilentDriftRegression:
+    """Tier-1 regression: a small pinned-seed hunt must rediscover the
+    silent-drift class (state-soundness breach while the node claims OK,
+    PR-1's headline finding) and shrink it to <= 2 primitives."""
+
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        return _hunt(tmp_path_factory.mktemp("hunt"))
+
+    def _silent_drift(self, report):
+        for record in report.findings:
+            if any(invariant == "state-soundness" for _, invariant in record["edges"]):
+                return record
+        raise AssertionError(f"no silent-drift finding in {report.findings}")
+
+    def test_finding_class_is_rediscovered(self, report):
+        record = self._silent_drift(report)
+        assert record["id"] == finding_id(
+            frozenset((node, invariant) for node, invariant in record["edges"])
+        )
+
+    def test_shrinks_to_a_minimal_calibration_window_offset(self, report):
+        record = self._silent_drift(report)
+        assert record["primitives"] <= 2
+        assert len(record["minimal"]) == record["primitives"]
+        offsets = [e for e in record["minimal"] if e["primitive"] == "tsc-offset"]
+        assert offsets, "silent drift reproducer should be a TSC offset"
+        assert offsets[0]["t_ns"] < CALIB_WINDOW_NS
+
+    def test_minimal_genome_replays_the_finding_edges(self, report):
+        record = self._silent_drift(report)
+        value = evaluate_genome(record["minimal"], seed=7, duration_s=30.0, nodes=3)
+        replayed = finding_edges(value["violations"])
+        target = frozenset((node, invariant) for node, invariant in record["edges"])
+        assert target <= replayed
+
+    def test_finding_spec_replays_clean_under_strict_oracle(self, report):
+        from repro.cli import main
+
+        record = self._silent_drift(report)
+        spec_path = record["spec_path"]
+        spec = ExperimentSpec.load(spec_path)
+        assert spec.schedule == record["minimal"]
+        assert main(["run-spec", spec_path, "--oracle", "strict"]) == 0
+
+    def test_report_accounting_is_consistent(self, report):
+        assert report.evaluated == report.budget == 16
+        assert report.generations >= 1
+        assert report.corpus_size >= 1
+        assert report.coverage_size >= report.corpus_size
+        assert report.shrink_evals > 0
+        rendered = report.render()
+        assert "hunt: seed 7" in rendered
+        assert "findings:" in rendered
+
+    def test_manifest_lists_findings_with_genome_keys(self, report):
+        manifest = json.loads(report.manifest_path.read_text())
+        ids = {f["id"] for f in manifest["findings"]}
+        assert self._silent_drift(report)["id"] in ids
+        for finding in manifest["findings"]:
+            assert set(finding) == {"id", "edges", "primitives", "genome_key"}
+
+
+class TestDeterminism:
+    def test_same_seed_same_budget_byte_identical_manifest(self, tmp_path):
+        first = _hunt(tmp_path / "a", budget=12, population=6, shrink=False)
+        second = _hunt(tmp_path / "b", budget=12, population=6, shrink=False)
+        assert first.manifest_path.read_bytes() == second.manifest_path.read_bytes()
+        assert first.generations == second.generations >= 2
+
+    @needs_fork
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = _hunt(tmp_path / "serial", budget=8, jobs=1, shrink=False)
+        parallel = _hunt(tmp_path / "parallel", budget=8, jobs=2, shrink=False)
+        assert serial.manifest_path.read_bytes() == parallel.manifest_path.read_bytes()
+
+    def test_different_seeds_diverge(self, tmp_path):
+        first = _hunt(tmp_path / "a", budget=20, population=8, seed=7, shrink=False)
+        second = _hunt(tmp_path / "b", budget=20, population=8, seed=8, shrink=False)
+        # Archetypes are shared, but the random tail of the population and
+        # all breeding differ — the corpora must not be identical.
+        assert first.manifest_path.read_bytes() != second.manifest_path.read_bytes()
+
+
+class TestNoShrink:
+    def test_no_shrink_keeps_raw_finding_genomes(self, tmp_path):
+        report = _hunt(tmp_path, budget=4, shrink=False)
+        assert report.shrink_evals == 0
+        for record in report.findings:
+            assert record["minimal"] == canonical(record["genome"])
+
+    def test_without_corpus_dir_nothing_is_written(self, tmp_path):
+        report = _hunt(tmp_path, budget=4, corpus_dir=None, shrink=False)
+        assert report.manifest_path is None
+        assert not (tmp_path / MANIFEST_NAME).exists()
+        for record in report.findings:
+            assert "spec_path" not in record

@@ -1,0 +1,138 @@
+"""Tests for genome representation, canonicalization, and sampling."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.spec import SCHEDULE_PRIMITIVES, ExperimentSpec
+from repro.hunt.genome import (
+    MAX_PRIMITIVES,
+    MIN_T_NS,
+    PRIMITIVE_KINDS,
+    canonical,
+    genome_key,
+    genome_to_spec,
+    log_uniform,
+    random_genome,
+    sample_primitive,
+    sample_time_ns,
+    validate_genome,
+)
+from repro.sim.units import SECOND
+
+DURATION_NS = 30 * SECOND
+
+
+def _offset(t_ns=500_000_000, ticks=-150_000_000, victim=1):
+    return {
+        "t_ns": t_ns,
+        "primitive": "tsc-offset",
+        "params": {"offset_ticks": ticks, "victim": victim},
+    }
+
+
+def _blackhole(t_ns=2_000_000_000):
+    return {"t_ns": t_ns, "primitive": "ta-blackhole", "params": {"duration_ms": 5_000}}
+
+
+class TestCanonical:
+    def test_sorts_entries_by_time(self):
+        genome = canonical([_blackhole(), _offset()])
+        assert [e["primitive"] for e in genome] == ["tsc-offset", "ta-blackhole"]
+
+    def test_is_idempotent(self):
+        once = canonical([_blackhole(), _offset()])
+        assert canonical(once) == once
+
+    def test_does_not_alias_input_params(self):
+        entry = _offset()
+        genome = canonical([entry])
+        genome[0]["params"]["offset_ticks"] = 1
+        assert entry["params"]["offset_ticks"] == -150_000_000
+
+
+class TestGenomeKey:
+    def test_invariant_under_entry_order(self):
+        assert genome_key([_offset(), _blackhole()]) == genome_key(
+            [_blackhole(), _offset()]
+        )
+
+    def test_distinct_genomes_get_distinct_keys(self):
+        assert genome_key([_offset()]) != genome_key([_offset(ticks=-150_000_001)])
+
+
+class TestSampling:
+    def test_random_genomes_are_valid(self):
+        rng = np.random.default_rng(3)
+        for _ in range(40):
+            genome = random_genome(rng, duration_ns=DURATION_NS, nodes=3)
+            assert 1 <= len(genome) <= 3
+            validate_genome(genome, duration_s=30.0, nodes=3)
+
+    def test_sampled_entries_match_spec_alphabet(self):
+        rng = np.random.default_rng(5)
+        for kind in PRIMITIVE_KINDS:
+            entry = sample_primitive(rng, kind, duration_ns=DURATION_NS, nodes=3)
+            required, optional = SCHEDULE_PRIMITIVES[kind]
+            assert required <= set(entry["params"]) <= required | optional
+            assert MIN_T_NS <= entry["t_ns"] < DURATION_NS
+
+    def test_sampling_is_deterministic_per_seed(self):
+        first = random_genome(np.random.default_rng(11), duration_ns=DURATION_NS, nodes=3)
+        second = random_genome(np.random.default_rng(11), duration_ns=DURATION_NS, nodes=3)
+        assert first == second
+
+    def test_unknown_kind_rejected(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ConfigurationError, match="unknown primitive kind"):
+            sample_primitive(rng, "warp", duration_ns=DURATION_NS, nodes=3)
+
+    def test_log_uniform_stays_in_bounds(self):
+        rng = np.random.default_rng(2)
+        draws = [log_uniform(rng, 1.0, 1000.0) for _ in range(200)]
+        assert all(1.0 <= value <= 1000.0 for value in draws)
+        with pytest.raises(ConfigurationError):
+            log_uniform(rng, 0.0, 1.0)
+
+    def test_sample_time_is_log_spread(self):
+        rng = np.random.default_rng(4)
+        times = [sample_time_ns(rng, DURATION_NS) for _ in range(300)]
+        # Log-uniform sampling lands a sizeable share in the first second,
+        # which uniform sampling (1/30 expected) essentially never would.
+        early = sum(1 for t in times if t < SECOND)
+        assert early >= 30
+
+
+class TestValidate:
+    def test_empty_genome_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one primitive"):
+            validate_genome([], duration_s=30.0)
+
+    def test_oversized_genome_rejected(self):
+        genome = [_offset(t_ns=MIN_T_NS + i) for i in range(MAX_PRIMITIVES + 1)]
+        with pytest.raises(ConfigurationError, match="cap is"):
+            validate_genome(genome, duration_s=30.0)
+
+    def test_bad_params_rejected_via_spec_validation(self):
+        with pytest.raises(ConfigurationError, match="offset_ticks"):
+            validate_genome([_offset(ticks=0)], duration_s=30.0)
+
+
+class TestGenomeToSpec:
+    def test_wraps_genome_as_replayable_spec(self):
+        genome = [_offset(), _blackhole()]
+        spec = genome_to_spec(genome, seed=7, duration_s=30.0, nodes=3)
+        assert spec.name == f"hunt-{genome_key(genome)}"
+        assert spec.schedule == canonical(genome)
+        assert spec.machine_wide_mean_s is None
+        assert all(
+            spec.environments[index] == "triad-like" for index in range(1, 4)
+        )
+
+    def test_spec_json_round_trips_the_genome(self):
+        spec = genome_to_spec([_offset()], seed=7, duration_s=30.0)
+        again = ExperimentSpec.from_json(spec.to_json())
+        assert again.schedule == spec.schedule
+        assert json.loads(spec.to_json())["schedule"] == spec.schedule

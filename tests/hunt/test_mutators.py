@@ -1,0 +1,97 @@
+"""Tests for genome mutation and crossover operators."""
+
+import numpy as np
+
+from repro.hunt.genome import (
+    MAX_PRIMITIVES,
+    canonical,
+    genome_key,
+    random_genome,
+    validate_genome,
+)
+from repro.hunt.mutators import crossover, mutate
+from repro.sim.units import SECOND
+
+DURATION_NS = 30 * SECOND
+
+
+def _seed_genome():
+    return canonical(
+        [
+            {
+                "t_ns": 500_000_000,
+                "primitive": "tsc-offset",
+                "params": {"offset_ticks": -150_000_000, "victim": 1},
+            },
+            {
+                "t_ns": 5_000_000_000,
+                "primitive": "net-delay",
+                "params": {
+                    "victim": 2,
+                    "mode": "fminus",
+                    "delay_ms": 100,
+                    "duration_ms": 10_000,
+                },
+            },
+        ]
+    )
+
+
+class TestMutate:
+    def test_always_returns_a_valid_genome(self):
+        rng = np.random.default_rng(9)
+        genome = _seed_genome()
+        for _ in range(80):
+            genome = mutate(rng, genome, duration_ns=DURATION_NS, nodes=3)
+            assert 1 <= len(genome) <= MAX_PRIMITIVES
+            validate_genome(genome, duration_s=30.0, nodes=3)
+
+    def test_does_not_modify_its_input(self):
+        genome = _seed_genome()
+        before = genome_key(genome)
+        mutate(np.random.default_rng(1), genome, duration_ns=DURATION_NS, nodes=3)
+        assert genome_key(genome) == before
+
+    def test_deterministic_per_rng_seed(self):
+        genome = _seed_genome()
+        first = mutate(np.random.default_rng(42), genome, duration_ns=DURATION_NS, nodes=3)
+        second = mutate(np.random.default_rng(42), genome, duration_ns=DURATION_NS, nodes=3)
+        assert first == second
+
+    def test_eventually_explores_every_operator(self):
+        rng = np.random.default_rng(17)
+        genome = _seed_genome()
+        keys = {genome_key(genome)}
+        lengths = {len(genome)}
+        for _ in range(60):
+            genome = mutate(rng, genome, duration_ns=DURATION_NS, nodes=3)
+            keys.add(genome_key(genome))
+            lengths.add(len(genome))
+        assert len(keys) > 30  # mutation almost always changes the genome
+        assert len(lengths) > 1  # add/drop actually fire
+
+
+class TestCrossover:
+    def test_child_is_valid_and_capped(self):
+        rng = np.random.default_rng(23)
+        for _ in range(40):
+            first = random_genome(rng, duration_ns=DURATION_NS, nodes=3)
+            second = random_genome(rng, duration_ns=DURATION_NS, nodes=3)
+            child = crossover(rng, first, second)
+            assert 1 <= len(child) <= MAX_PRIMITIVES
+            validate_genome(child, duration_s=30.0, nodes=3)
+
+    def test_child_entries_come_from_the_parents(self):
+        rng = np.random.default_rng(5)
+        first, second = _seed_genome(), random_genome(
+            rng, duration_ns=DURATION_NS, nodes=3
+        )
+        child = crossover(rng, first, second)
+        pool = {genome_key([e]) for e in first} | {genome_key([e]) for e in second}
+        assert all(genome_key([entry]) in pool for entry in child)
+
+    def test_deterministic_per_rng_seed(self):
+        first, second = _seed_genome(), _seed_genome()[:1]
+        a = crossover(np.random.default_rng(3), first, second)
+        b = crossover(np.random.default_rng(3), first, second)
+        assert a == b

@@ -1,0 +1,121 @@
+"""Tests for the delta-debugging shrinker (synthetic check functions)."""
+
+from repro.hunt.genome import canonical
+from repro.hunt.shrinker import shrink
+
+TARGET = frozenset({("node-1", "state-soundness")})
+
+#: Synthetic finding model: the target edge shows up iff the genome's
+#: summed tsc-offset magnitude per victim reaches 64 ticks.
+THRESHOLD = 64
+
+
+def _check(genome):
+    per_victim = {}
+    for entry in genome:
+        if entry["primitive"] == "tsc-offset":
+            victim = entry["params"].get("victim")
+            per_victim[victim] = per_victim.get(victim, 0) + entry["params"]["offset_ticks"]
+    if any(abs(total) >= THRESHOLD for total in per_victim.values()):
+        return TARGET
+    return frozenset()
+
+
+def _offset(ticks, t_ns=500_000_123, victim=1):
+    return {
+        "t_ns": t_ns,
+        "primitive": "tsc-offset",
+        "params": {"offset_ticks": ticks, "victim": victim},
+    }
+
+
+def _passenger(t_ns=7_000_000_000):
+    return {"t_ns": t_ns, "primitive": "ta-blackhole", "params": {"duration_ms": 4_000}}
+
+
+class TestDrop:
+    def test_passengers_are_dropped(self):
+        genome = [_offset(1024), _passenger(), _passenger(9_000_000_000)]
+        minimal = shrink(genome, TARGET, _check)
+        assert len(minimal) == 1
+        assert minimal[0]["primitive"] == "tsc-offset"
+
+    def test_load_bearing_entries_survive(self):
+        genome = [_offset(40), _offset(40, t_ns=900_000_000)]
+        minimal = shrink(genome, TARGET, _check)
+        assert _check(minimal) == TARGET
+
+
+class TestMerge:
+    def test_same_victim_offsets_merge_into_one(self):
+        # Each offset alone is below THRESHOLD, so drop can't remove either;
+        # merge folds them into one summed entry at the earlier time.
+        genome = [_offset(40, t_ns=2_000_000_000), _offset(40, t_ns=900_000_000)]
+        minimal = shrink(genome, TARGET, _check)
+        assert len(minimal) == 1
+        assert minimal[0]["params"]["offset_ticks"] == 80
+        assert minimal[0]["t_ns"] == 900_000_000
+
+    def test_different_victims_do_not_merge(self):
+        genome = [_offset(40, victim=1), _offset(40, t_ns=900_000_000, victim=2)]
+
+        def check(g):
+            total = sum(
+                e["params"]["offset_ticks"] for e in g if e["primitive"] == "tsc-offset"
+            )
+            return TARGET if abs(total) >= THRESHOLD else frozenset()
+
+        minimal = shrink(genome, TARGET, check)
+        assert len(minimal) == 2
+
+
+class TestNormalize:
+    def test_offset_halves_to_within_2x_of_threshold(self):
+        minimal = shrink([_offset(1024)], TARGET, _check)
+        assert THRESHOLD <= abs(minimal[0]["params"]["offset_ticks"]) < 2 * THRESHOLD
+
+    def test_negative_offsets_keep_their_sign(self):
+        minimal = shrink([_offset(-1024)], TARGET, _check)
+        assert -2 * THRESHOLD < minimal[0]["params"]["offset_ticks"] <= -THRESHOLD
+
+    def test_times_round_down_to_whole_milliseconds(self):
+        minimal = shrink([_offset(1024, t_ns=500_000_123)], TARGET, _check)
+        assert minimal[0]["t_ns"] == 500_000_000
+
+    def test_durations_shrink_while_preserved(self):
+        target = frozenset({("*", "freshness")})
+
+        def check(genome):
+            for entry in genome:
+                if entry["primitive"] == "ta-blackhole":
+                    return target
+            return frozenset()
+
+        minimal = shrink([_passenger()], target, check)
+        assert minimal[0]["params"]["duration_ms"] == 1
+
+
+class TestContract:
+    def test_unreproducible_target_returns_genome_unchanged(self):
+        genome = [_offset(8)]  # below threshold: target never reproduces
+        assert shrink(genome, TARGET, _check) == canonical(genome)
+
+    def test_result_always_preserves_the_target(self):
+        genome = [_offset(100), _offset(-30, t_ns=2_000_000_000), _passenger()]
+        minimal = shrink(genome, TARGET, _check)
+        assert TARGET <= _check(minimal)
+
+    def test_eval_budget_is_respected(self):
+        calls = []
+
+        def counting_check(genome):
+            calls.append(1)
+            return _check(genome)
+
+        shrink([_offset(1024), _passenger()], TARGET, counting_check, max_evals=3)
+        assert len(calls) <= 3
+
+    def test_exhausted_budget_keeps_the_confirmed_genome(self):
+        genome = [_offset(1024), _passenger()]
+        minimal = shrink(genome, TARGET, _check, max_evals=1)
+        assert minimal == canonical(genome)

@@ -272,3 +272,36 @@ class TestOracleFlag:
 
         assert main(["run", "fig2", "--duration-s", "10", "--oracle", "warn"]) == 0
         assert current_policy().mode == "off"
+
+
+class TestHunt:
+    def test_tiny_hunt_writes_corpus_and_reports(self, capsys, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        assert main([
+            "hunt", "--seed", "7", "--budget", "4", "--population", "4",
+            "--corpus-dir", str(corpus_dir), "--no-shrink",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hunt: seed 7" in out
+        assert "corpus:" in out
+        assert (corpus_dir / "MANIFEST.json").exists()
+
+    def test_hunt_telemetry_export(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "telemetry.jsonl"
+        assert main([
+            "hunt", "--budget", "2", "--population", "2", "--no-shrink",
+            "--corpus-dir", str(tmp_path / "corpus"), "--telemetry", str(target),
+        ]) == 0
+        records = [json.loads(line) for line in target.read_text().splitlines()]
+        assert records[-1]["event"] == "summary"
+        assert records[-1]["total"] == 2
+        assert "peak_rss_kb" in records[-1]
+
+    def test_hunt_rejects_bad_jobs_and_budget(self, capsys, tmp_path):
+        assert main(["hunt", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+        assert main(["hunt", "--budget", "0",
+                     "--corpus-dir", str(tmp_path)]) == 2
+        assert "budget" in capsys.readouterr().err
