@@ -1,6 +1,6 @@
 # Convenience targets for the Triad reproduction.
 
-.PHONY: install test lint bench reproduce figures sweeps hunt-smoke clean
+.PHONY: install test lint bench reproduce figures sweeps hunt-smoke service-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -36,6 +36,24 @@ hunt-smoke:
 	python -m repro hunt --seed 7 --budget 24 --jobs 2 --corpus-dir out/hunt-smoke-b
 	cmp out/hunt-smoke-a/MANIFEST.json out/hunt-smoke-b/MANIFEST.json
 	@echo "hunt-smoke: corpus manifests are byte-identical"
+
+# Pinned-seed service runs (1M sessions benign, 100k under the F−
+# propagation cascade), each at --jobs 1 and --jobs 2: the ServiceReport
+# JSON must be byte-identical for the same seed regardless of worker count.
+service-smoke:
+	python -m repro service --sessions 1000000 --duration-s 30 --quorum 3 \
+		--seed 11 --no-cache --json out/service-smoke/benign-j1.json
+	python -m repro service --sessions 1000000 --duration-s 30 --quorum 3 \
+		--seed 11 --no-cache --jobs 2 --json out/service-smoke/benign-j2.json
+	cmp out/service-smoke/benign-j1.json out/service-smoke/benign-j2.json
+	python -m repro service --sessions 100000 --duration-s 30 --quorum 3 \
+		--seed 11 --attack fminus-propagation --no-cache \
+		--json out/service-smoke/propagation-j1.json
+	python -m repro service --sessions 100000 --duration-s 30 --quorum 3 \
+		--seed 11 --attack fminus-propagation --no-cache --jobs 2 \
+		--json out/service-smoke/propagation-j2.json
+	cmp out/service-smoke/propagation-j1.json out/service-smoke/propagation-j2.json
+	@echo "service-smoke: reports are byte-identical across --jobs 1/2"
 
 figures:
 	python -m repro run fig2 --export out/fig2

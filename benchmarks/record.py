@@ -1,0 +1,207 @@
+"""Append one BENCH_*.json trajectory point per subsystem.
+
+The ROADMAP re-anchor asked for committed benchmark trajectories so the
+perf curve survives across PRs: each ``BENCH_<name>.json`` under
+``benchmarks/`` is a JSON list, one entry per recording, tagged with the
+code version and commit. This script runs a small pinned workload per
+subsystem and appends the measurement::
+
+    PYTHONPATH=src python benchmarks/record.py kernel fleet hunt service
+    PYTHONPATH=src python benchmarks/record.py --all
+
+Workloads are deliberately modest (seconds, not minutes): the point is a
+comparable curve over time on CI-class hardware, not a rigorous study —
+``benchmarks/test_bench_*.py`` remain the heavyweight harnesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def _measure_kernel() -> dict:
+    """Raw event throughput: timeout chain + interleaved processes."""
+    from repro.sim import Simulator
+
+    events = 200_000
+    started = time.perf_counter()
+    sim = Simulator(seed=0)
+
+    def chain():
+        for _ in range(events):
+            yield sim.timeout(1)
+
+    sim.process(chain())
+    sim.run()
+    chain_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    sim = Simulator(seed=0)
+
+    def worker(step):
+        for _ in range(100):
+            yield sim.timeout(step)
+
+    for index in range(1000):
+        sim.process(worker(index + 1))
+    sim.run()
+    fleet_wall = time.perf_counter() - started
+
+    return {
+        "timeout_events_per_s": round(events / chain_wall),
+        "process_events_per_s": round(100_000 / fleet_wall),
+    }
+
+
+def _measure_fleet() -> dict:
+    """Sweep-point tasks through the in-process pool."""
+    from repro.attacks.delay import AttackMode
+    from repro.experiments.sweeps import attack_delay_tasks, run_point_tasks
+    from repro.fleet.pool import FleetPool
+    from repro.fleet.telemetry import FleetTelemetry
+    from repro.sim.units import MILLISECOND, SECOND
+
+    tasks = attack_delay_tasks(
+        AttackMode.F_MINUS,
+        delays_ns=tuple((10 + 40 * i) * MILLISECOND for i in range(4)),
+        settle_ns=30 * SECOND,
+        measure_ns=60 * SECOND,
+    )
+    telemetry = FleetTelemetry()
+    started = time.perf_counter()
+    points = run_point_tasks(tasks, pool=FleetPool(jobs=1), telemetry=telemetry)
+    wall = time.perf_counter() - started
+    return {
+        "points": len(points),
+        "wall_s": round(wall, 3),
+        "sim_s_per_wall_s": round(telemetry.throughput(), 1),
+    }
+
+
+def _measure_hunt() -> dict:
+    """A small pinned hunt: genomes evaluated per wall-second."""
+    from repro.hunt import HuntConfig, HuntEngine
+
+    budget = 8
+    with tempfile.TemporaryDirectory() as corpus_dir:
+        started = time.perf_counter()
+        report = HuntEngine(
+            HuntConfig(
+                seed=7,
+                budget=budget,
+                jobs=1,
+                corpus_dir=Path(corpus_dir),
+                shrink=False,
+            )
+        ).run()
+        wall = time.perf_counter() - started
+    return {
+        "genomes": report.evaluated,
+        "wall_s": round(wall, 3),
+        "genomes_per_wall_s": round(report.evaluated / wall, 2),
+        "findings": len(report.findings),
+    }
+
+
+def _measure_service() -> dict:
+    """The EXT-SERVICE workload: 1M open-loop sessions over 30 sim-s."""
+    from repro.experiments.spec import ExperimentSpec
+
+    duration_s = 30.0
+    spec = ExperimentSpec.from_dict(
+        {
+            "name": "bench-service",
+            "seed": 11,
+            "duration_s": duration_s,
+            "nodes": 3,
+            "environments": {
+                "1": "triad-like", "2": "triad-like", "3": "triad-like"
+            },
+            "service": {"sessions": 1_000_000, "arrival": "open", "quorum": 3},
+        }
+    )
+    started = time.perf_counter()
+    report = spec.run().service.report()
+    wall = time.perf_counter() - started
+    return {
+        "sessions": report.sessions,
+        "requests": report.requests,
+        "requests_per_sim_s": round(report.requests_per_sim_s),
+        "requests_per_wall_s": round(report.requests / wall),
+        "sim_s_per_wall_s": round(duration_s / wall, 1),
+        "error_p99_ns": report.error_p99_ns,
+        "availability": report.availability,
+    }
+
+
+MEASURES = {
+    "kernel": _measure_kernel,
+    "fleet": _measure_fleet,
+    "hunt": _measure_hunt,
+    "service": _measure_service,
+}
+
+
+def _commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=BENCH_DIR,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def record(name: str) -> Path:
+    """Measure one subsystem and append the entry to its trajectory file."""
+    import repro
+
+    metrics = MEASURES[name]()
+    target = BENCH_DIR / f"BENCH_{name}.json"
+    trajectory = json.loads(target.read_text()) if target.exists() else []
+    trajectory.append(
+        {
+            "recorded_utc": datetime.datetime.now(datetime.timezone.utc).strftime(
+                "%Y-%m-%dT%H:%M:%SZ"
+            ),
+            "version": repro.__version__,
+            "commit": _commit(),
+            "metrics": metrics,
+        }
+    )
+    target.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("names", nargs="*", help="subsystems to record")
+    parser.add_argument("--all", action="store_true", help="record every subsystem")
+    args = parser.parse_args(argv)
+    names = sorted(MEASURES) if args.all else args.names
+    if not names:
+        parser.error("pass subsystem names or --all")
+    unknown = [name for name in names if name not in MEASURES]
+    if unknown:
+        parser.error(f"unknown subsystem(s) {unknown}; choose from {sorted(MEASURES)}")
+    for name in names:
+        target = record(name)
+        entry = json.loads(target.read_text())[-1]
+        print(f"{name}: {entry['metrics']} -> {target.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

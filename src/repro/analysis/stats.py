@@ -113,6 +113,31 @@ def cdf_at(values: Sequence[float], threshold: float) -> float:
     return sum(1 for v in values if v <= threshold) / len(values)
 
 
+def weighted_percentile(pairs: Sequence[tuple[float, int]], q: float) -> float:
+    """Percentile of a count-weighted sample without expanding it.
+
+    ``pairs`` are ``(value, count)`` records — the service layer's
+    zero-churn request accounting produces millions of requests as a few
+    thousand such pairs. Returns the smallest value whose cumulative
+    count reaches ``q`` of the total (the same convention as the "lower"
+    interpolation of an expanded sample), so results are exact integers
+    when the inputs are.
+    """
+    if not 0 <= q <= 1:
+        raise ConfigurationError(f"percentile q must be within [0, 1], got {q}")
+    total = sum(count for _, count in pairs)
+    if total <= 0:
+        raise ConfigurationError("cannot take a percentile of an empty sample")
+    threshold = q * total
+    cumulative = 0
+    value = 0.0
+    for value, count in sorted(pairs):
+        cumulative += count
+        if cumulative >= threshold:
+            return value
+    return value
+
+
 def drift_rate_ppm(drift_series: Sequence[tuple[int, int]]) -> float:
     """Fitted drift rate in ppm from a (time_ns, drift_ns) series.
 

@@ -20,6 +20,12 @@ Commands
 ``run-spec <file.json>``
     Run a declarative experiment spec (see ``examples/specs/`` and
     :mod:`repro.experiments.spec`).
+``service``
+    Run the trusted-time service workload (:mod:`repro.service`): session
+    populations against per-node front-ends with Marzullo quorum clients,
+    benign or under an attack, reporting client-visible SLO metrics
+    (p50/p99/p99.9 timestamp error, lease violations, shed/timeout rates).
+    ``--json FILE`` writes the deterministic ``ServiceReport``.
 ``hunt``
     Coverage-guided search for attack schedules (:mod:`repro.hunt`):
     evolve genomes of timed attack primitives through the fleet, keep a
@@ -131,6 +137,50 @@ def _build_parser() -> argparse.ArgumentParser:
     run_spec.add_argument("spec_path", help="path to the spec JSON file")
     run_spec.add_argument("--export", metavar="DIR", default=None, help="write series CSVs to DIR")
     _add_oracle_argument(run_spec)
+
+    service = sub.add_parser(
+        "service", help="run the trusted-time service workload and report SLOs"
+    )
+    service.add_argument(
+        "--sessions", type=int, default=1_000_000, help="client sessions (default 1M)"
+    )
+    service.add_argument(
+        "--arrival",
+        choices=("open", "closed"),
+        default="open",
+        help="arrival model: open (Poisson) or closed (think-time) loop",
+    )
+    service.add_argument(
+        "--rate-rps",
+        type=float,
+        default=None,
+        help="override the open-loop aggregate request rate (default sessions * 0.05)",
+    )
+    service.add_argument(
+        "--think-ms", type=float, default=20_000.0, help="closed-loop mean think time"
+    )
+    service.add_argument(
+        "--quorum", type=int, default=3, help="nodes per quorum fan-out (1 = single-node client)"
+    )
+    service.add_argument(
+        "--duration-s", type=float, default=30.0, help="simulated run length (seconds)"
+    )
+    service.add_argument("--nodes", type=int, default=3, help="cluster size")
+    service.add_argument("--seed", type=int, default=11, help="experiment seed")
+    service.add_argument(
+        "--attack",
+        choices=("benign", "fplus", "fminus", "fminus-propagation", "ta-blackhole"),
+        default="benign",
+        help=(
+            "scenario to run the workload under (default benign); 'fminus' pins "
+            "the poison to one node via the hardened protocol, "
+            "'fminus-propagation' lets the cascade spread on the original"
+        ),
+    )
+    service.add_argument(
+        "--json", metavar="FILE", default=None, help="write the ServiceReport as JSON to FILE"
+    )
+    _add_fleet_arguments(service)
 
     hunt = sub.add_parser("hunt", help="coverage-guided search for attack schedules")
     hunt.add_argument("--seed", type=int, default=7, help="search seed (default 7)")
@@ -415,6 +465,84 @@ def _print_result(name: str, result) -> None:
     print(result.render(description))
 
 
+def _service_spec_dict(args) -> dict:
+    """Compile the ``service`` subcommand flags into a spec dict."""
+    nodes = args.nodes
+    victim = min(3, nodes)  # paper numbering: node 3 is the compromised one
+    attacks: list[dict] = []
+    protocol = "original"
+    if args.attack == "fplus":
+        attacks = [{"type": "fplus", "victim": victim, "delay_ms": 100}]
+    elif args.attack == "fminus":
+        # Hardened protocol: the F− poison stays pinned to the victim, so
+        # the run measures quorum containment of a single bad source.
+        attacks = [{"type": "fminus", "victim": victim, "delay_ms": 100}]
+        protocol = "hardened"
+    elif args.attack == "fminus-propagation":
+        attacks = [{"type": "fminus", "victim": victim, "delay_ms": 100}]
+    elif args.attack == "ta-blackhole":
+        attacks = [{"type": "ta-blackhole"}]
+    service: dict = {
+        "sessions": args.sessions,
+        "arrival": args.arrival,
+        "quorum": args.quorum,
+        "think_ms": args.think_ms,
+    }
+    if args.rate_rps is not None:
+        service["rate_rps"] = args.rate_rps
+    return {
+        "name": f"service-{args.attack}",
+        "seed": args.seed,
+        "duration_s": args.duration_s,
+        "protocol": protocol,
+        "nodes": nodes,
+        "environments": {str(i): "triad-like" for i in range(1, nodes + 1)},
+        "attacks": attacks,
+        "service": service,
+    }
+
+
+def _run_service_command(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError
+    from repro.experiments.spec import ExperimentSpec
+    from repro.fleet import RunTask
+
+    invalid = _validate_fleet_flags(args)
+    if invalid is not None:
+        return invalid
+    raw = _service_spec_dict(args)
+    try:
+        spec = ExperimentSpec.from_dict(raw)  # fail on bad flags before any worker runs
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    task = RunTask(
+        kind="service",
+        name=spec.name,
+        seed=spec.seed,
+        duration_ns=spec.duration_ns,
+        payload={"spec": raw},
+    )
+    _apply_oracle_override([task], args.oracle)
+    pool, cache, telemetry = _fleet_pieces(args)
+    result = pool.run([task], cache=cache, telemetry=telemetry)[0]
+    if not result.ok:
+        print(f"service run FAILED: {result.error}", file=sys.stderr)
+        return 1
+    print(result.value["rendered"])
+    _finish_fleet(args, telemetry)
+    if args.json:
+        path = Path(args.json)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result.value["report"], indent=2, sort_keys=True) + "\n")
+        print(f"wrote service report JSON to {path}")
+    return 0
+
+
 def _run_hunt(args) -> int:
     from pathlib import Path
 
@@ -492,12 +620,18 @@ def main(argv: Optional[list[str]] = None) -> int:
             return oracle_exit
         result = DriftFigureResult(experiment=experiment, duration_ns=spec.duration_ns)
         print(result.render(f"spec: {spec.name} ({spec.protocol}, {spec.duration_s:.0f}s)"))
+        if experiment.service is not None:
+            print()
+            print(experiment.service.report().render())
         if args.export:
             from repro.analysis.export import export_experiment
 
             paths = export_experiment(result, args.export)
             print(f"\nwrote {len(paths)} CSV files to {args.export}/")
         return oracle_exit
+
+    if args.command == "service":
+        return _run_service_command(args)
 
     if args.command == "hunt":
         return _run_hunt(args)

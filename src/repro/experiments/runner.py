@@ -41,6 +41,10 @@ class Experiment:
     #: scenario registry by name; attack wiring (e.g.
     #: :meth:`~repro.experiments.spec.ExperimentSpec`) may union more in.
     expected_violations: set = field(default_factory=set)
+    #: Attached :class:`~repro.service.TimeService`, when the scenario
+    #: deploys the client-facing service layer (set by
+    #: :meth:`TimeService.attach`; None for protocol-only experiments).
+    service: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.expected_violations |= expected_for(self.name)

@@ -33,6 +33,13 @@ the serialization format of ``repro.hunt`` genomes — every synthesized
 finding replays from plain spec JSON — but schedules are also handy for
 hand-scripted timelines at nanosecond resolution. Validation errors name
 the offending entry index (``schedule[3]: ...``).
+
+A spec may also carry a ``service`` block (see
+:class:`repro.service.ServiceConfig`): the run then deploys per-node
+front-ends, session workloads, and Marzullo quorum clients over the
+cluster, and the fleet's ``service`` task kind reports client-visible
+SLO metrics instead of the drift table. Validation errors name the
+offending key (``service.sessions: ...``).
 """
 
 from __future__ import annotations
@@ -111,6 +118,7 @@ _SPEC_KEYS = {
     "ta_count",
     "attacks",
     "schedule",
+    "service",
 }
 
 
@@ -131,6 +139,10 @@ class ExperimentSpec:
     attacks: list[dict[str, Any]] = field(default_factory=list)
     #: Timed attack schedule: [{"t_ns": int, "primitive": str, "params": {...}}].
     schedule: list[dict[str, Any]] = field(default_factory=list)
+    #: Service workload block (see :class:`repro.service.ServiceConfig`):
+    #: deploys per-node front-ends plus quorum clients over the cluster
+    #: and makes the run report client-visible SLO metrics.
+    service: Optional[dict[str, Any]] = None
 
     # -- construction & validation -------------------------------------------
 
@@ -155,6 +167,25 @@ class ExperimentSpec:
             self._validate_attack(attack)
         for index, entry in enumerate(self.schedule):
             self._validate_schedule_entry(index, entry)
+        if self.service is not None:
+            self._validate_service(self.service)
+
+    def _validate_service(self, raw: dict[str, Any]) -> None:
+        # Imported here: repro.service pulls in the experiment runner,
+        # which this module's import graph already sits on top of.
+        from repro.service.config import ServiceConfig
+
+        config = ServiceConfig.from_dict(raw)
+        if config.quorum > self.nodes:
+            raise ConfigurationError(
+                f"service.quorum: fan-out of {config.quorum} exceeds the "
+                f"cluster of {self.nodes} node(s)"
+            )
+        if config.start_s >= self.duration_s:
+            raise ConfigurationError(
+                f"service.start_s: warm-up of {config.start_s}s leaves no "
+                f"room in a {self.duration_s}s run"
+            )
 
     def _validate_attack(self, attack: dict[str, Any]) -> None:
         kind = attack.get("type")
@@ -286,6 +317,7 @@ class ExperimentSpec:
                 "ta_count": self.ta_count,
                 "attacks": self.attacks,
                 "schedule": self.schedule,
+                "service": self.service,
             },
             indent=2,
         )
@@ -334,6 +366,10 @@ class ExperimentSpec:
             self._apply_attack(experiment, attack)
         for index, entry in enumerate(self.schedule):
             self._apply_schedule_entry(experiment, index, entry)
+        if self.service is not None:
+            from repro.service import ServiceConfig, TimeService
+
+            TimeService.attach(experiment, ServiceConfig.from_dict(self.service))
         return experiment
 
     def run(self) -> Experiment:

@@ -13,7 +13,8 @@ objects. That buys three things at once:
   nothing else, so the result is a pure function of the task.
 
 Executors are registered per ``kind`` with :func:`register_runner`; the
-built-in kinds are ``sweep-point``, ``spec`` and ``experiment``. An
+built-in kinds are ``sweep-point``, ``spec``, ``service``, ``hunt-genome``
+and ``experiment``. An
 executor returns a JSON-able dict (it must round-trip through
 ``json.dumps``/``loads`` unchanged — the cache stores it that way) and
 should include a ``sim_ns`` entry so telemetry can report simulated
@@ -244,6 +245,26 @@ def _run_spec(task: RunTask) -> dict:
         ),
         "frequencies_mhz": result.frequencies_mhz(),
         "availability": result.availability(),
+        "sim_ns": spec.duration_ns,
+    }
+
+
+@register_runner("service")
+def _run_service(task: RunTask) -> dict:
+    """Execute a service-workload spec and report client-visible SLOs."""
+    from repro.experiments.spec import ExperimentSpec
+
+    spec = ExperimentSpec.from_dict(dict(task.payload["spec"]))
+    if spec.service is None:
+        raise FleetError(
+            f"service task {task.name!r} needs a spec with a 'service' block"
+        )
+    experiment = spec.run()
+    report = experiment.service.report()
+    return {
+        "spec": spec.name,
+        "report": report.to_dict(),
+        "rendered": report.render(),
         "sim_ns": spec.duration_ns,
     }
 

@@ -56,6 +56,17 @@ EXPECTED_VIOLATIONS: dict[str, frozenset[tuple[str, str]]] = {
     "hardened-fplus-suppressed-aex": _VICTIM,
     # TA blackhole: refresh starves; freshness deadlines fire fleet-wide.
     "dos-ta-blackhole": frozenset({(ANY_NODE, "freshness")}),
+    # Service-layer scenarios (repro.service / CLI `service`): the service
+    # is an observer, so expectations mirror the underlying attack. Spec
+    # attack wiring unions the same pairs in; these entries also cover
+    # hand-built clusters using the canonical names.
+    "service-benign": frozenset(),
+    "service-fplus": _VICTIM,
+    # Hardened protocol pins the F− poison to the victim (quorum-containment
+    # scenario of the CLI's --attack fminus).
+    "service-fminus": _VICTIM,
+    "service-fminus-propagation": _CASCADE,
+    "service-ta-blackhole": frozenset({(ANY_NODE, "freshness")}),
 }
 
 #: Task-name prefix -> expected pairs, for fleet tasks that are not

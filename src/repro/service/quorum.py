@@ -1,0 +1,151 @@
+"""The Marzullo quorum client: fan-out sync, then an O(1) anchor.
+
+Follows the TrustedTime engine's two-phase design (SNIPPETS.md
+Snippet 3): an expensive *sync* establishes an anchor — "at client
+monotonic instant ``S`` the consensus trusted time was ``T``" — and the
+hot ``now()`` path is then a pure delta addition ``T + (now − S)`` with
+no message exchange at all, until the anchor's staleness deadline forces
+the next sync.
+
+A sync fans out to the configured quorum of Triad nodes. Each available
+source contributes a confidence interval ``estimate ± (RTT/2 + margin)``
+with the RTT drawn from the service's own seeded delay model (the
+fan-out messages are not simulated individually — at millions of
+requests the per-message events would drown the kernel; the sampled RTT
+carries exactly the information a real client would extract from them).
+Marzullo intersection then yields the consensus estimate, and sources
+disjoint from the winning region are recorded as out-voted — under the
+paper's F− attack that is the dragged-fast node being contained by its
+honest peers. If fewer than a majority of the quorum agree, the sync
+fails and the client serves nothing until the next attempt: a visible
+availability hit rather than a silently poisoned timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.service.marzullo import SourceInterval, intersect, majority, outvoted
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+    from repro.core.node import TriadNode
+    from repro.net.delays import DelayModel
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class QuorumStats:
+    """Sync-path observability counters of one quorum client."""
+
+    syncs: int = 0
+    sync_failures: int = 0
+    #: Total agreeing votes across successful syncs (mean = total/syncs).
+    votes_total: int = 0
+    #: Source was tainted/calibrating when polled: name -> count.
+    unavailable: dict[str, int] = field(default_factory=dict)
+    #: Source was discarded by Marzullo intersection: name -> count.
+    outvoted: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_votes(self) -> float:
+        return self.votes_total / self.syncs if self.syncs else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "syncs": self.syncs,
+            "sync_failures": self.sync_failures,
+            "mean_votes": round(self.mean_votes, 4),
+            "unavailable": dict(sorted(self.unavailable.items())),
+            "outvoted": dict(sorted(self.outvoted.items())),
+        }
+
+
+class QuorumClient:
+    """Client-side time source: quorum syncs feeding a staleness-bounded anchor."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        sources: Sequence["TriadNode"],
+        rng: "np.random.Generator",
+        delay_model: "DelayModel",
+        staleness_ns: int,
+        margin_ns: int = 0,
+    ) -> None:
+        if not sources:
+            raise ConfigurationError("quorum client needs at least one source node")
+        if staleness_ns <= 0:
+            raise ConfigurationError(f"staleness must be positive, got {staleness_ns}")
+        self.sim = sim
+        self.sources = list(sources)
+        self.rng = rng
+        self.delay_model = delay_model
+        self.staleness_ns = staleness_ns
+        self.margin_ns = margin_ns
+        self.stats = QuorumStats()
+        self._anchor_time_ns: Optional[int] = None
+        self._anchor_estimate_ns: int = 0
+
+    @property
+    def anchored(self) -> bool:
+        """Whether the hot path currently has a valid anchor."""
+        return (
+            self._anchor_time_ns is not None
+            and self.sim.now - self._anchor_time_ns < self.staleness_ns
+        )
+
+    def estimate(self) -> Optional[int]:
+        """Client-visible trusted time now, or None while unavailable.
+
+        The anchored path is two integer additions — the O(1) zero-alloc
+        ``now()`` the TrustedTime design promises; only a stale (or
+        absent) anchor pays for a quorum sync.
+        """
+        now = self.sim.now
+        if self._anchor_time_ns is not None and now - self._anchor_time_ns < self.staleness_ns:
+            return self._anchor_estimate_ns + (now - self._anchor_time_ns)
+        return self._sync(now)
+
+    def _sync(self, now: int) -> Optional[int]:
+        intervals: list[SourceInterval] = []
+        for node in self.sources:
+            if not node.available:
+                name = node.name
+                self.stats.unavailable[name] = self.stats.unavailable.get(name, 0) + 1
+                continue
+            source_estimate = node.clock.now_unchecked()
+            # One-way delay sampled twice: request and response legs.
+            rtt = int(self.delay_model.sample(self.rng)) + int(
+                self.delay_model.sample(self.rng)
+            )
+            half_width = rtt // 2 + self.margin_ns
+            intervals.append(
+                SourceInterval(
+                    lo_ns=source_estimate - half_width,
+                    hi_ns=source_estimate + half_width,
+                    source=node.name,
+                )
+            )
+        if not intervals:
+            self.stats.sync_failures += 1
+            self._anchor_time_ns = None
+            return None
+        consensus = intersect(intervals)
+        if consensus.votes < majority(len(self.sources)):
+            # No majority of the configured fan-out agrees: refuse rather
+            # than anchor on a minority (possibly poisoned) region.
+            self.stats.sync_failures += 1
+            self._anchor_time_ns = None
+            return None
+        for interval in outvoted(intervals, consensus):
+            name = interval.source
+            self.stats.outvoted[name] = self.stats.outvoted.get(name, 0) + 1
+        self.stats.syncs += 1
+        self.stats.votes_total += consensus.votes
+        self._anchor_time_ns = now
+        self._anchor_estimate_ns = consensus.midpoint_ns
+        return self._anchor_estimate_ns

@@ -1,0 +1,90 @@
+"""CLI ``service`` subcommand: smoke, JSON export, fleet determinism."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+FAST = [
+    "service",
+    "--sessions", "20000",
+    "--duration-s", "12",
+    "--seed", "11",
+    "--no-cache",
+]
+
+
+class TestServiceCommand:
+    def test_benign_smoke_prints_the_report(self, capsys):
+        assert main(FAST) == 0
+        out = capsys.readouterr().out
+        assert "service: service-benign" in out
+        assert "availability" in out
+        assert "per-front-end" in out
+
+    def test_json_export_is_deterministic_across_jobs(self, capsys, tmp_path):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        assert main(FAST + ["--json", str(serial)]) == 0
+        assert main(FAST + ["--jobs", "2", "--json", str(parallel)]) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == parallel.read_bytes()
+        report = json.loads(serial.read_text())
+        assert report["sessions"] == 20000
+        assert report["served"] + report["shed"] + report["expired"] + report[
+            "refused"
+        ] == report["requests"]
+
+    def test_fminus_attack_inflates_single_node_error(self, capsys, tmp_path):
+        target = tmp_path / "q1.json"
+        # 15 s: long enough for the delayed recalibration to poison node-3.
+        args = FAST + [
+            "--duration-s", "15", "--attack", "fminus", "--quorum", "1",
+            "--json", str(target),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        report = json.loads(target.read_text())
+        assert report["name"] == "service-fminus"
+        assert report["max_abs_error_ns"] > 10_000_000
+
+    def test_oracle_strict_passes_on_benign(self, capsys):
+        assert main(FAST + ["--oracle", "strict"]) == 0
+        capsys.readouterr()
+
+    def test_rejects_quorum_larger_than_cluster(self, capsys):
+        assert main(FAST + ["--quorum", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "service.quorum" in err
+
+    def test_rejects_bad_jobs(self, capsys):
+        assert main(FAST + ["--jobs", "0"]) == 2
+
+    def test_closed_loop_arrival(self, capsys):
+        assert main(FAST + ["--arrival", "closed", "--think-ms", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "closed" in out
+
+
+@pytest.mark.parametrize("attack", ["fplus", "fminus-propagation"])
+def test_attack_scenarios_run_to_completion(capsys, attack):
+    assert main(FAST + ["--attack", attack]) == 0
+    out = capsys.readouterr().out
+    assert f"service-{attack}" in out
+
+
+def test_run_spec_prints_the_service_report(capsys, tmp_path):
+    spec = tmp_path / "svc.json"
+    spec.write_text(json.dumps({
+        "name": "svc-spec",
+        "seed": 11,
+        "duration_s": 12.0,
+        "nodes": 3,
+        "environments": {"1": "triad-like", "2": "triad-like", "3": "triad-like"},
+        "service": {"sessions": 20000, "quorum": 3},
+    }))
+    assert main(["run-spec", str(spec)]) == 0
+    out = capsys.readouterr().out
+    assert "service: svc-spec" in out
+    assert "availability" in out

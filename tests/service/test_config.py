@@ -1,0 +1,89 @@
+"""ServiceConfig validation (key-named errors) and round-tripping."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.config import ServiceConfig
+from repro.sim.units import MILLISECOND, SECOND
+
+
+def config(**overrides):
+    params = {"sessions": 1000}
+    params.update(overrides)
+    return ServiceConfig(**params)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        ("overrides", "key"),
+        [
+            ({"sessions": 0}, "sessions"),
+            ({"arrival": "batch"}, "arrival"),
+            ({"per_session_rps": 0}, "per_session_rps"),
+            ({"rate_rps": -1.0}, "rate_rps"),
+            ({"think_ms": 0}, "think_ms"),
+            ({"quorum": 0}, "quorum"),
+            ({"anchor_staleness_ms": 0}, "anchor_staleness_ms"),
+            ({"tick_ms": 0}, "tick_ms"),
+            ({"queue_capacity": 0}, "queue_capacity"),
+            ({"service_rate_rps": 0}, "service_rate_rps"),
+            ({"deadline_ms": 0}, "deadline_ms"),
+            ({"lease_guard_ms": 0}, "lease_guard_ms"),
+            ({"lease_fraction": 1.5}, "lease_fraction"),
+            ({"timeout_fraction": -0.1}, "timeout_fraction"),
+            ({"lease_fraction": 0.6, "timeout_fraction": 0.6}, "lease_fraction"),
+            ({"start_s": -1}, "start_s"),
+            ({"rtt_margin_us": -1}, "rtt_margin_us"),
+        ],
+    )
+    def test_errors_name_the_offending_key(self, overrides, key):
+        with pytest.raises(ConfigurationError, match=f"service.{key}:"):
+            config(**overrides)
+
+    def test_defaults_are_valid(self):
+        assert config().quorum == 3
+
+    def test_from_dict_requires_sessions(self):
+        with pytest.raises(ConfigurationError, match="service.sessions: required"):
+            ServiceConfig.from_dict({"quorum": 3})
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match=r"unknown keys \['sesions'\]"):
+            ServiceConfig.from_dict({"sessions": 10, "sesions": 10})
+
+    def test_from_dict_rejects_non_dict(self):
+        with pytest.raises(ConfigurationError, match="must be an object"):
+            ServiceConfig.from_dict([("sessions", 10)])
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_is_identity(self):
+        original = config(
+            sessions=250_000,
+            arrival="closed",
+            think_ms=5_000.0,
+            quorum=5,
+            rtt_margin_us=100.0,
+        )
+        assert ServiceConfig.from_dict(original.to_dict()) == original
+
+    def test_to_dict_is_json_scalars_only(self):
+        for value in config().to_dict().values():
+            assert value is None or isinstance(value, (int, float, str))
+
+
+class TestDerived:
+    def test_open_loop_rate_defaults_to_population_product(self):
+        assert config(sessions=1_000_000).aggregate_rate_rps == pytest.approx(50_000.0)
+
+    def test_explicit_rate_overrides_the_product(self):
+        assert config(rate_rps=123.0).aggregate_rate_rps == 123.0
+
+    def test_nanosecond_conversions(self):
+        box = config(tick_ms=10.0, deadline_ms=250.0, start_s=5.0)
+        assert box.tick_ns == 10 * MILLISECOND
+        assert box.deadline_ticks == 25
+        assert box.start_ns == 5 * SECOND
+
+    def test_deadline_shorter_than_tick_still_gives_one_tick(self):
+        assert config(tick_ms=10.0, deadline_ms=1.0).deadline_ticks == 1

@@ -1,0 +1,118 @@
+"""Marzullo intersection: overlap, ties, touching endpoints, out-voting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.marzullo import (
+    QuorumEstimate,
+    SourceInterval,
+    intersect,
+    majority,
+    outvoted,
+)
+
+
+def interval(lo, hi, source=""):
+    return SourceInterval(lo_ns=lo, hi_ns=hi, source=source)
+
+
+class TestSourceInterval:
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ConfigurationError, match="inverted"):
+            interval(10, 5, source="node-1")
+
+    def test_midpoint_and_contains(self):
+        box = interval(10, 20)
+        assert box.midpoint_ns == 15
+        assert box.contains(10) and box.contains(20)
+        assert not box.contains(9) and not box.contains(21)
+
+
+class TestMajority:
+    def test_thresholds(self):
+        assert majority(1) == 1
+        assert majority(2) == 2
+        assert majority(3) == 2
+        assert majority(4) == 3
+        assert majority(5) == 3
+
+    def test_rejects_empty_quorum(self):
+        with pytest.raises(ConfigurationError, match="quorum"):
+            majority(0)
+
+
+class TestIntersect:
+    def test_empty_input_raises(self):
+        with pytest.raises(ConfigurationError, match="zero intervals"):
+            intersect([])
+
+    def test_single_source_is_its_own_consensus(self):
+        estimate = intersect([interval(100, 200, "only")])
+        assert estimate == QuorumEstimate(lo_ns=100, hi_ns=200, votes=1)
+        assert estimate.midpoint_ns == 150
+        assert estimate.width_ns == 100
+
+    def test_full_three_way_overlap(self):
+        estimate = intersect(
+            [interval(0, 100), interval(50, 150), interval(80, 120)]
+        )
+        assert estimate.votes == 3
+        assert (estimate.lo_ns, estimate.hi_ns) == (80, 100)
+
+    def test_exactly_touching_intervals_agree_on_the_shared_point(self):
+        # [0, 50] and [50, 100] share the single instant 50: NTP semantics
+        # count that as agreement, not disjointness.
+        estimate = intersect([interval(0, 50), interval(50, 100)])
+        assert estimate.votes == 2
+        assert (estimate.lo_ns, estimate.hi_ns) == (50, 50)
+        assert estimate.width_ns == 0
+
+    def test_disjoint_intervals_no_overlap(self):
+        # Fully disjoint sources: the best region keeps a single vote, and
+        # the caller's majority check is what rejects the sync.
+        estimate = intersect([interval(0, 10), interval(20, 30), interval(40, 50)])
+        assert estimate.votes == 1
+        assert estimate.votes < majority(3)
+
+    def test_tied_majorities_resolve_to_the_earliest_region(self):
+        # Two separate 2-vote camps; determinism demands the earlier wins.
+        estimate = intersect(
+            [interval(0, 10), interval(5, 15), interval(100, 110), interval(105, 115)]
+        )
+        assert estimate.votes == 2
+        assert (estimate.lo_ns, estimate.hi_ns) == (5, 10)
+
+    def test_poisoned_fminus_source_out_of_five_is_outvoted(self):
+        # Four honest sources within a microsecond of true time 1_000_000;
+        # the F−-dragged node reports ~113 ms in the future (the paper's
+        # +113 ms/s drift after one second). Marzullo must settle on the
+        # honest overlap and discard the poisoned claim.
+        honest = [
+            interval(999_800, 1_000_300, "node-1"),
+            interval(999_900, 1_000_400, "node-2"),
+            interval(999_700, 1_000_200, "node-4"),
+            interval(999_850, 1_000_350, "node-5"),
+        ]
+        poisoned = interval(113_999_800, 114_000_200, "node-3")
+        estimate = intersect(honest + [poisoned])
+        assert estimate.votes == 4
+        assert estimate.votes >= majority(5)
+        assert 999_900 <= estimate.midpoint_ns <= 1_000_200
+        discarded = outvoted(honest + [poisoned], estimate)
+        assert [box.source for box in discarded] == ["node-3"]
+
+    def test_order_independence(self):
+        boxes = [interval(0, 100), interval(50, 150), interval(80, 120)]
+        assert intersect(boxes) == intersect(list(reversed(boxes)))
+
+
+class TestOutvoted:
+    def test_touching_source_is_not_outvoted(self):
+        estimate = QuorumEstimate(lo_ns=50, hi_ns=60, votes=2)
+        assert outvoted([interval(40, 50), interval(61, 70)], estimate) == [
+            interval(61, 70)
+        ]
+
+    def test_all_agreeing_sources_yield_empty_list(self):
+        boxes = [interval(0, 100), interval(50, 150)]
+        assert outvoted(boxes, intersect(boxes)) == []

@@ -1,0 +1,156 @@
+"""Quorum client: sync/anchor lifecycle, majority refusal, out-voting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.delays import ConstantDelay
+from repro.service.quorum import QuorumClient
+from repro.sim.units import MILLISECOND, SECOND
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0
+
+
+class FakeClock:
+    def __init__(self, offset_ns, sim):
+        self.offset_ns = offset_ns
+        self.sim = sim
+
+    def now_unchecked(self):
+        return self.sim.now + self.offset_ns
+
+
+class FakeNode:
+    def __init__(self, name, sim, offset_ns=0, available=True):
+        self.name = name
+        self.available = available
+        self.clock = FakeClock(offset_ns, sim)
+
+
+def client(sim, nodes, staleness_ms=1000, margin_us=100, delay_us=50):
+    return QuorumClient(
+        sim,
+        nodes,
+        rng=np.random.default_rng(7),
+        delay_model=ConstantDelay(delay_us * 1000),
+        staleness_ns=staleness_ms * MILLISECOND,
+        margin_ns=margin_us * 1000,
+    )
+
+
+class TestValidation:
+    def test_needs_sources(self):
+        with pytest.raises(ConfigurationError, match="at least one source"):
+            client(FakeSim(), [])
+
+    def test_needs_positive_staleness(self):
+        with pytest.raises(ConfigurationError, match="staleness"):
+            client(FakeSim(), [FakeNode("n", FakeSim())], staleness_ms=0)
+
+
+class TestSyncAndAnchor:
+    def test_honest_quorum_estimates_true_time(self):
+        sim = FakeSim()
+        sim.now = 10 * SECOND
+        nodes = [FakeNode(f"node-{i}", sim, offset_ns=(i - 2) * 10_000) for i in (1, 2, 3)]
+        box = client(sim, nodes)
+        estimate = box.estimate()
+        assert estimate is not None
+        assert abs(estimate - sim.now) < MILLISECOND
+        assert box.stats.syncs == 1
+        assert box.anchored
+
+    def test_anchored_path_is_a_pure_delta(self):
+        sim = FakeSim()
+        nodes = [FakeNode(f"node-{i}", sim) for i in (1, 2, 3)]
+        box = client(sim, nodes)
+        first = box.estimate()
+        sim.now += 500 * MILLISECOND  # within staleness: no new sync
+        second = box.estimate()
+        assert box.stats.syncs == 1
+        assert second == first + 500 * MILLISECOND
+
+    def test_stale_anchor_forces_a_resync(self):
+        sim = FakeSim()
+        nodes = [FakeNode(f"node-{i}", sim) for i in (1, 2, 3)]
+        box = client(sim, nodes, staleness_ms=1000)
+        box.estimate()
+        sim.now += 2 * SECOND
+        assert not box.anchored
+        box.estimate()
+        assert box.stats.syncs == 2
+
+    def test_unavailable_sources_are_skipped_and_counted(self):
+        sim = FakeSim()
+        nodes = [
+            FakeNode("node-1", sim),
+            FakeNode("node-2", sim),
+            FakeNode("node-3", sim, available=False),
+        ]
+        box = client(sim, nodes)
+        assert box.estimate() is not None  # 2 of 3 still clear majority
+        assert box.stats.unavailable == {"node-3": 1}
+
+    def test_no_available_sources_fails_the_sync(self):
+        sim = FakeSim()
+        nodes = [FakeNode("node-1", sim, available=False)]
+        box = client(sim, nodes)
+        assert box.estimate() is None
+        assert box.stats.sync_failures == 1
+        assert not box.anchored
+
+
+class TestContainment:
+    def test_single_poisoned_source_is_outvoted_by_the_quorum(self):
+        sim = FakeSim()
+        sim.now = 10 * SECOND
+        nodes = [
+            FakeNode("node-1", sim, offset_ns=10_000),
+            FakeNode("node-2", sim, offset_ns=-20_000),
+            FakeNode("node-3", sim, offset_ns=113 * MILLISECOND),  # F−-fast
+        ]
+        box = client(sim, nodes)
+        estimate = box.estimate()
+        assert estimate is not None
+        assert abs(estimate - sim.now) < MILLISECOND  # honest consensus
+        assert box.stats.outvoted == {"node-3": 1}
+
+    def test_single_node_client_swallows_the_poison(self):
+        sim = FakeSim()
+        sim.now = 10 * SECOND
+        box = client(sim, [FakeNode("node-3", sim, offset_ns=113 * MILLISECOND)])
+        estimate = box.estimate()
+        assert estimate - sim.now > 100 * MILLISECOND
+
+    def test_majority_poisoned_refuses_nothing_but_minority_does(self):
+        # 1 honest vs 2 split poisoned sources: no 2-of-3 overlap anywhere,
+        # so the client refuses rather than anchor on any camp.
+        sim = FakeSim()
+        sim.now = 10 * SECOND
+        nodes = [
+            FakeNode("node-1", sim, offset_ns=0),
+            FakeNode("node-2", sim, offset_ns=60 * MILLISECOND),
+            FakeNode("node-3", sim, offset_ns=113 * MILLISECOND),
+        ]
+        box = client(sim, nodes)
+        assert box.estimate() is None
+        assert box.stats.sync_failures == 1
+
+
+class TestStats:
+    def test_to_dict_is_sorted_and_json_able(self):
+        sim = FakeSim()
+        nodes = [
+            FakeNode("node-3", sim),
+            FakeNode("node-2", sim),
+            FakeNode("node-1", sim, available=False),
+        ]
+        box = client(sim, nodes)
+        box.estimate()
+        raw = box.stats.to_dict()
+        assert raw["syncs"] == 1
+        assert raw["mean_votes"] == 2.0
+        assert list(raw["unavailable"]) == ["node-1"]

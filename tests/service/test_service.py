@@ -1,0 +1,128 @@
+"""End-to-end TimeService runs over wired experiment specs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.spec import ExperimentSpec
+from repro.service.config import ServiceConfig
+from repro.service.service import TimeService
+
+
+def spec_dict(quorum=3, attack=None, protocol="original", **service_overrides):
+    service = {
+        "sessions": 20_000,
+        "arrival": "open",
+        "quorum": quorum,
+        "start_s": 5.0,
+    }
+    service.update(service_overrides)
+    attacks = []
+    if attack == "fminus":
+        attacks = [{"type": "fminus", "victim": 3, "delay_ms": 100}]
+    return {
+        "name": "service-test",
+        "seed": 11,
+        "duration_s": 15.0,
+        "protocol": protocol,
+        "nodes": 3,
+        "environments": {"1": "triad-like", "2": "triad-like", "3": "triad-like"},
+        "attacks": attacks,
+        "service": service,
+    }
+
+
+def run_report(**kwargs):
+    spec = ExperimentSpec.from_dict(spec_dict(**kwargs))
+    experiment = spec.run()
+    return experiment.service.report()
+
+
+class TestBenignRun:
+    def test_report_accounts_every_request(self):
+        report = run_report()
+        assert report.requests > 5000
+        assert (
+            report.served + report.shed + report.expired + report.refused
+            == report.requests
+        )
+        assert report.requests_per_sim_s == pytest.approx(
+            report.requests / report.duration_s, rel=0.01
+        )
+
+    def test_benign_slo_is_healthy(self):
+        report = run_report()
+        assert report.availability > 0.95
+        assert report.lease_violations == 0
+        assert report.error_p99_ns < 2_000_000  # < 2 ms client-visible error
+        assert report.shed == 0
+
+    def test_every_frontend_served_its_share(self):
+        report = run_report()
+        assert sorted(report.frontends) == ["node-1", "node-2", "node-3"]
+        for row in report.frontends.values():
+            assert row["served"] > 1000
+
+    def test_closed_loop_runs(self):
+        report = run_report(arrival="closed", think_ms=5_000.0)
+        assert report.arrival == "closed"
+        assert report.served > 1000
+        assert report.lease_violations == 0
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_the_report_exactly(self):
+        assert run_report().to_dict() == run_report().to_dict()
+
+    def test_different_seed_changes_the_workload(self):
+        spec = ExperimentSpec.from_dict({**spec_dict(), "seed": 12})
+        other = spec.run().service.report()
+        assert other.to_dict() != run_report().to_dict()
+
+
+class TestQuorumContainment:
+    """The tentpole security result: quorum-3 contains a single F− node."""
+
+    def test_quorum3_outvotes_the_poisoned_node(self):
+        report = run_report(quorum=3, attack="fminus", protocol="hardened")
+        assert report.error_p99_ns < 2_000_000  # honest consensus held
+        assert report.lease_violations == 0
+        assert report.quorum_stats["outvoted"].get("node-3", 0) > 0
+
+    def test_single_node_client_swallows_the_poison(self):
+        report = run_report(quorum=1, attack="fminus", protocol="hardened")
+        assert report.max_abs_error_ns > 10_000_000  # >10 ms served errors
+        assert report.lease_violations > 0
+
+    def test_quorum_improves_availability_too(self):
+        # A single-node client is down whenever its node taints; a quorum
+        # client rides out individual taints on the other sources.
+        single = run_report(quorum=1)
+        quorum = run_report(quorum=3)
+        assert quorum.availability > single.availability
+
+
+class TestValidation:
+    def test_quorum_larger_than_cluster_rejected(self):
+        with pytest.raises(ConfigurationError, match="service.quorum"):
+            ExperimentSpec.from_dict(spec_dict(quorum=4))
+
+    def test_report_before_start_rejected(self):
+        spec = ExperimentSpec.from_dict(spec_dict())
+        experiment = spec.build()
+        with pytest.raises(ConfigurationError, match="never reached"):
+            experiment.service.report()
+
+    def test_attach_registers_on_the_experiment(self):
+        spec = ExperimentSpec.from_dict(spec_dict())
+        experiment = spec.build()
+        assert isinstance(experiment.service, TimeService)
+        assert len(experiment.service.frontends) == 3
+
+    def test_direct_attach_validates_quorum_against_cluster(self):
+        raw = spec_dict()
+        raw.pop("service")
+        experiment = ExperimentSpec.from_dict(raw).build()
+        with pytest.raises(ConfigurationError, match="service.quorum"):
+            TimeService.attach(
+                experiment, ServiceConfig(sessions=100, quorum=5)
+            )
