@@ -1,6 +1,6 @@
 # Convenience targets for the Triad reproduction.
 
-.PHONY: install test lint bench reproduce figures sweeps hunt-smoke service-smoke clean
+.PHONY: install test lint bench bench-kernel reproduce figures sweeps hunt-smoke service-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -20,6 +20,13 @@ bench:
 
 bench-verbose:
 	pytest benchmarks/ --benchmark-only -s
+
+# Kernel throughput: run the kernel benchmarks (including the committed
+# process_events_per_s floor — see docs/kernel.md), then append a point
+# to the benchmarks/BENCH_kernel.json trajectory.
+bench-kernel:
+	pytest benchmarks/test_bench_kernel.py
+	python benchmarks/record.py kernel
 
 reproduce:
 	python examples/reproduce_paper.py

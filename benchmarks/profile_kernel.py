@@ -1,0 +1,123 @@
+"""Profile the discrete-event kernel's hot path.
+
+The perf work on the kernel (see ``docs/kernel.md``) was profile-driven;
+this harness commits the methodology so future optimization rounds start
+from measurements, not guesses::
+
+    PYTHONPATH=src python benchmarks/profile_kernel.py            # all workloads
+    PYTHONPATH=src python benchmarks/profile_kernel.py fleet      # one workload
+    PYTHONPATH=src python benchmarks/profile_kernel.py --sort cumulative
+    PYTHONPATH=src python benchmarks/profile_kernel.py --pyinstrument
+
+Workloads mirror ``benchmarks/record.py`` (the BENCH_kernel.json source)
+plus the AEX stream shape, so profile output lines up with the committed
+trajectory numbers. ``--pyinstrument`` renders a sampling flame tree when
+the package is installed; the default cProfile path has no dependencies
+beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def _workload_chain() -> None:
+    """One process, 200k serial timeouts: scheduling + drain + recycle."""
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=0)
+
+    def chain():
+        for _ in range(200_000):
+            yield sim.timeout(1)
+
+    sim.process(chain())
+    sim.run()
+
+
+def _workload_fleet() -> None:
+    """1000 interleaved processes: bucket churn and same-tick FIFO."""
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=0)
+
+    def worker(step):
+        for _ in range(100):
+            yield sim.timeout(step)
+
+    for index in range(1000):
+        sim.process(worker(index + 1))
+    sim.run()
+
+
+def _workload_aex() -> None:
+    """Three Triad-like AEX sources for 60 sim-minutes: the numpy boundary."""
+    from repro.hardware import AexPort, AexSource, TriadLikeAexDelays
+    from repro.sim import Simulator, units
+
+    sim = Simulator(seed=0)
+    for core in range(3):
+        port = AexPort(sim, core_index=core)
+        AexSource(sim, port, TriadLikeAexDelays(), rng_name=f"aex/core{core}")
+    sim.run(until=60 * units.MINUTE)
+
+
+WORKLOADS = {
+    "chain": _workload_chain,
+    "fleet": _workload_fleet,
+    "aex": _workload_aex,
+}
+
+
+def _profile_cprofile(workload, sort: str, lines: int) -> None:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(sort).print_stats(lines)
+
+
+def _profile_pyinstrument(workload) -> None:
+    try:
+        from pyinstrument import Profiler
+    except ImportError:
+        print("pyinstrument is not installed; falling back to cProfile", file=sys.stderr)
+        _profile_cprofile(workload, "tottime", 25)
+        return
+    profiler = Profiler()
+    profiler.start()
+    workload()
+    profiler.stop()
+    print(profiler.output_text(unicode=True, color=sys.stdout.isatty()))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("workloads", nargs="*", help=f"subset of {sorted(WORKLOADS)}")
+    parser.add_argument("--sort", default="tottime", help="pstats sort key (default: tottime)")
+    parser.add_argument("--lines", type=int, default=25, help="rows of pstats output")
+    parser.add_argument(
+        "--pyinstrument",
+        action="store_true",
+        help="use the pyinstrument sampling profiler when available",
+    )
+    args = parser.parse_args(argv)
+    names = args.workloads or sorted(WORKLOADS)
+    unknown = [name for name in names if name not in WORKLOADS]
+    if unknown:
+        parser.error(f"unknown workload(s) {unknown}; choose from {sorted(WORKLOADS)}")
+    for name in names:
+        print(f"=== {name} ===")
+        if args.pyinstrument:
+            _profile_pyinstrument(WORKLOADS[name])
+        else:
+            _profile_cprofile(WORKLOADS[name], args.sort, args.lines)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

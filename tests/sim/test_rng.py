@@ -1,5 +1,7 @@
 """Tests for named deterministic random streams."""
 
+import numpy as np
+
 from repro.sim import RngRegistry
 
 
@@ -53,3 +55,70 @@ class TestStreamIsolation:
         registry = RngRegistry(seed=0)
         stream = registry.stream("node-ä/ユニット")
         assert stream.random() is not None
+
+
+class TestStreamSnapshots:
+    """Pinned seed→draw-sequence snapshots per named stream.
+
+    These freeze exact values so a kernel or scheduler refactor that
+    reorders, interleaves, or re-derives stream state fails loudly here
+    instead of as silent golden-trace drift. If one of these snapshots
+    ever has to change, every committed trace is invalid with it.
+    """
+
+    def test_integers_snapshot(self):
+        stream = RngRegistry(seed=2024).stream("node-1/aex")
+        assert list(stream.integers(0, 1000, 8)) == [135, 701, 845, 510, 540, 229, 393, 494]
+
+    def test_random_snapshot(self):
+        stream = RngRegistry(seed=2024).stream("net/delay")
+        draws = [round(float(x), 12) for x in stream.random(4)]
+        assert draws == [0.294802859709, 0.288470109014, 0.723607096103, 0.463138730898]
+
+    def test_choice_snapshot(self):
+        """The AEX-source draw shape: choice over the paper's three delays."""
+        stream = RngRegistry(seed=7).stream("machine/aex/core0")
+        delays = (10_000_000, 532_000_000, 1_590_000_000)
+        draws = [int(stream.choice(delays)) for _ in range(6)]
+        assert draws == [
+            532_000_000,
+            10_000_000,
+            1_590_000_000,
+            1_590_000_000,
+            532_000_000,
+            532_000_000,
+        ]
+
+    def test_exponential_snapshot(self):
+        stream = RngRegistry(seed=7).stream("machine/aex/core1")
+        draws = [int(stream.exponential(1e9)) for _ in range(4)]
+        assert draws == [1_288_796_586, 212_802_002, 1_031_731_006, 5_373_904_131]
+
+
+class TestBatchedDrawStability:
+    """Batched draws must equal sequential draws, values AND end state.
+
+    The batched AEX sources (``repro.hardware.aex``) pre-draw inter-arrival
+    delays with one size-n numpy call and rely on the stream afterwards
+    being indistinguishable from n single-draw calls — both the produced
+    values and the bit-generator state (so later consumers of the stream
+    see identical randomness either way).
+    """
+
+    def _pair(self, seed=13, name="s"):
+        return RngRegistry(seed=seed).stream(name), RngRegistry(seed=seed).stream(name)
+
+    def test_choice_batch_matches_sequential(self):
+        sequential, batched = self._pair()
+        delays = (10_000_000, 532_000_000, 1_590_000_000)
+        expected = [int(sequential.choice(delays)) for _ in range(257)]
+        got = [int(x) for x in batched.choice(delays, size=257)]
+        assert got == expected
+        assert sequential.bit_generator.state == batched.bit_generator.state
+
+    def test_exponential_batch_matches_sequential(self):
+        sequential, batched = self._pair(seed=29)
+        expected = [max(int(sequential.exponential(3.3e8)), 1) for _ in range(257)]
+        got = [max(int(x), 1) for x in np.asarray(batched.exponential(3.3e8, size=257))]
+        assert got == expected
+        assert sequential.bit_generator.state == batched.bit_generator.state
