@@ -1,6 +1,6 @@
 # Convenience targets for the Triad reproduction.
 
-.PHONY: install test lint bench bench-kernel reproduce figures sweeps hunt-smoke service-smoke clean
+.PHONY: install test lint bench bench-kernel bench-membership reproduce figures sweeps hunt-smoke service-smoke membership-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -27,6 +27,12 @@ bench-verbose:
 bench-kernel:
 	pytest benchmarks/test_bench_kernel.py
 	python benchmarks/record.py kernel
+
+# Membership engine at cluster scale (200-node enforce-mode mesh), then
+# append a point to the benchmarks/BENCH_membership.json trajectory.
+bench-membership:
+	pytest benchmarks/test_bench_membership.py
+	python benchmarks/record.py membership
 
 reproduce:
 	python examples/reproduce_paper.py
@@ -61,6 +67,21 @@ service-smoke:
 		--json out/service-smoke/propagation-j2.json
 	cmp out/service-smoke/propagation-j1.json out/service-smoke/propagation-j2.json
 	@echo "service-smoke: reports are byte-identical across --jobs 1/2"
+
+# Membership control plane, pinned seeds: churn runs byte-identical
+# across --jobs 1/2, the F− containment race passes the strict oracle in
+# enforce mode, and a benign observation run flips no verdicts.
+membership-smoke:
+	python -m repro membership --attack churn --nodes 5 --duration-s 20 \
+		--no-cache --json out/membership-smoke/churn-j1.json
+	python -m repro membership --attack churn --nodes 5 --duration-s 20 \
+		--no-cache --jobs 2 --json out/membership-smoke/churn-j2.json
+	cmp out/membership-smoke/churn-j1.json out/membership-smoke/churn-j2.json
+	python -m repro membership --oracle strict --no-cache \
+		--json out/membership-smoke/propagation.json
+	python -m repro membership --attack benign --duration-s 15 --no-cache \
+		--oracle strict
+	@echo "membership-smoke: churn deterministic, containment strict-clean"
 
 figures:
 	python -m repro run fig2 --export out/fig2

@@ -143,11 +143,48 @@ def _measure_service() -> dict:
     }
 
 
+def _measure_membership() -> dict:
+    """EXT-MEMBERSHIP: 200-node enforce-mode mesh with churn, 5 sim-s."""
+    from repro.experiments.spec import ExperimentSpec
+
+    nodes = 200
+    duration_s = 5.0
+    spec = ExperimentSpec.from_dict(
+        {
+            "name": "bench-membership",
+            "seed": 11,
+            "duration_s": duration_s,
+            "nodes": nodes,
+            "environments": {str(i): "triad-like" for i in range(1, nodes + 1)},
+            "membership": {"mode": "enforce", "epoch_s": 1.0},
+            "churn": {
+                "schedule": [
+                    {"t_s": 1.5, "node": nodes, "action": "leave"},
+                    {"t_s": 2.5, "node": nodes - 1, "action": "leave"},
+                    {"t_s": 3.5, "node": nodes, "action": "join"},
+                ]
+            },
+        }
+    )
+    started = time.perf_counter()
+    report = spec.run().membership.report()
+    wall = time.perf_counter() - started
+    return {
+        "nodes": nodes,
+        "epochs_closed": report["epochs_closed"],
+        "rotations": report["rotations"],
+        "churn_events": len(report["churn"]),
+        "node_epochs_per_wall_s": round(nodes * report["epochs_closed"] / wall),
+        "sim_s_per_wall_s": round(duration_s / wall, 1),
+    }
+
+
 MEASURES = {
     "kernel": _measure_kernel,
     "fleet": _measure_fleet,
     "hunt": _measure_hunt,
     "service": _measure_service,
+    "membership": _measure_membership,
 }
 
 

@@ -26,6 +26,16 @@ Commands
     benign or under an attack, reporting client-visible SLO metrics
     (p50/p99/p99.9 timestamp error, lease violations, shed/timeout rates).
     ``--json FILE`` writes the deterministic ``ServiceReport``.
+``membership``
+    Run the epoch membership/quarantine control plane
+    (:mod:`repro.membership`) against a scenario — benign, rolling churn,
+    F+, the F− propagation cascade, or a TA blackhole — and print the
+    verdict journal (suspect/quarantine/evict/probation transitions and
+    per-node peak divergence). ``--mode enforce`` also rotates the
+    per-epoch group key so quarantined nodes are cryptographically cut
+    off. The flag ``--membership {off,observe,enforce}`` on ``run``,
+    ``sweep``, ``run-spec``, ``batch``, ``service`` and ``reproduce``
+    attaches the same engine to those runs.
 ``hunt``
     Coverage-guided search for attack schedules (:mod:`repro.hunt`):
     evolve genomes of timed attack primitives through the fleet, keep a
@@ -82,6 +92,19 @@ def _add_oracle_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_membership_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--membership",
+        choices=("off", "observe", "enforce"),
+        default="off",
+        help=(
+            "membership control plane: 'observe' scores nodes and records "
+            "verdicts without intervening, 'enforce' also rotates the "
+            "epoch key so quarantined nodes are cryptographically cut off"
+        ),
+    )
+
+
 def _add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes (1 = in-process, the default)"
@@ -98,6 +121,7 @@ def _add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
         "--telemetry", metavar="FILE", default=None, help="write per-task JSONL records to FILE"
     )
     _add_oracle_argument(parser)
+    _add_membership_argument(parser)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -117,6 +141,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--export", metavar="DIR", default=None, help="write series CSVs to DIR")
     _add_oracle_argument(run)
+    _add_membership_argument(run)
 
     sweep = sub.add_parser("sweep", help="run a parameter sweep")
     sweep.add_argument("sweep_name", choices=sorted(_SWEEP_METRICS))
@@ -137,6 +162,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_spec.add_argument("spec_path", help="path to the spec JSON file")
     run_spec.add_argument("--export", metavar="DIR", default=None, help="write series CSVs to DIR")
     _add_oracle_argument(run_spec)
+    _add_membership_argument(run_spec)
 
     service = sub.add_parser(
         "service", help="run the trusted-time service workload and report SLOs"
@@ -182,6 +208,45 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_fleet_arguments(service)
 
+    membership = sub.add_parser(
+        "membership",
+        help="run the membership/quarantine control plane and report verdicts",
+    )
+    membership.add_argument(
+        "--attack",
+        choices=("benign", "churn", "fplus", "fminus-propagation", "ta-blackhole"),
+        default="fminus-propagation",
+        help=(
+            "scenario to run the control plane against (default "
+            "fminus-propagation — the containment headline); 'churn' runs a "
+            "benign rolling join/leave/rejoin schedule"
+        ),
+    )
+    membership.add_argument(
+        "--mode",
+        choices=("observe", "enforce"),
+        default="enforce",
+        help=(
+            "engine mode: 'observe' records verdicts only, 'enforce' also "
+            "rotates the epoch key to cut quarantined nodes off (default)"
+        ),
+    )
+    membership.add_argument("--nodes", type=int, default=5, help="cluster size (default 5)")
+    membership.add_argument("--seed", type=int, default=6, help="experiment seed")
+    membership.add_argument(
+        "--duration-s", type=float, default=30.0, help="simulated run length (seconds)"
+    )
+    membership.add_argument(
+        "--epoch-s", type=float, default=1.0, help="membership epoch length (seconds)"
+    )
+    membership.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write the membership report (verdicts, events, churn) as JSON to FILE",
+    )
+    _add_fleet_arguments(membership)
+
     hunt = sub.add_parser("hunt", help="coverage-guided search for attack schedules")
     hunt.add_argument("--seed", type=int, default=7, help="search seed (default 7)")
     hunt.add_argument(
@@ -211,6 +276,7 @@ def _build_parser() -> argparse.ArgumentParser:
     hunt.add_argument(
         "--telemetry", metavar="FILE", default=None, help="write per-task JSONL records to FILE"
     )
+    _add_membership_argument(hunt)
 
     reproduce = sub.add_parser("reproduce", help="run every experiment and print the summary")
     reproduce.add_argument(
@@ -305,6 +371,57 @@ def _apply_oracle_override(tasks: list, mode: str) -> list:
     return tasks
 
 
+def _membership_run(mode: str, fn: Callable):
+    """Run ``fn()`` under membership ``mode``; returns ``(value, reports)``.
+
+    The serial-path counterpart of the fleet's per-task membership
+    handling: the policy is installed for the duration of the call, and
+    every controller that clusters built along the way is drained so its
+    report can be printed. Controllers a spec's ``membership`` block
+    retired (by replacing them) are dropped — only live engines report.
+    """
+    if mode == "off":
+        return fn(), []
+
+    from repro.membership import drain_created_controllers, membership_policy
+
+    with membership_policy(mode):
+        drain_created_controllers()
+        try:
+            value = fn()
+        finally:
+            controllers = drain_created_controllers()
+    reports = [
+        controller.report() for controller in controllers if not controller.retired
+    ]
+    return value, reports
+
+
+def _print_membership_reports(reports) -> None:
+    """Render membership reports (a dict or list of dicts) to stdout."""
+    from repro.membership import render_report
+
+    if not reports:
+        return
+    if isinstance(reports, dict):
+        reports = [reports]
+    for report in reports:
+        print()
+        print(render_report(report))
+
+
+def _apply_membership_override(tasks: list, mode: str) -> list:
+    """Stamp the membership mode into each fleet task's overrides.
+
+    Mirrors :func:`_apply_oracle_override`: ``off`` leaves tasks (and
+    their content hashes) untouched.
+    """
+    if mode != "off":
+        for task in tasks:
+            task.overrides["membership"] = mode
+    return tasks
+
+
 def _sweep_tasks(name: str, seed: Optional[int]) -> list:
     from repro.attacks.delay import AttackMode
     from repro.experiments import sweeps
@@ -328,6 +445,7 @@ def _run_sweep(args) -> int:
     if args.limit is not None:
         tasks = tasks[: args.limit]
     _apply_oracle_override(tasks, args.oracle)
+    _apply_membership_override(tasks, args.membership)
     pool, cache, telemetry = _fleet_pieces(args)
     try:
         points = sweeps.run_point_tasks(tasks, pool=pool, cache=cache, telemetry=telemetry)
@@ -389,12 +507,14 @@ def _run_batch(args) -> int:
             )
         )
     _apply_oracle_override(tasks, args.oracle)
+    _apply_membership_override(tasks, args.membership)
     pool, cache, telemetry = _fleet_pieces(args)
     results = pool.run(tasks, cache=cache, telemetry=telemetry)
     for result in results:
         print()
         if result.ok:
             print(result.value["rendered"])
+            _print_membership_reports(result.value.get("membership"))
         else:
             print(f"spec {result.name!r} FAILED: {result.error}")
     rows = [
@@ -423,6 +543,7 @@ def _run_reproduce_fleet(args) -> int:
         for name in _EXPERIMENTS
     ]
     _apply_oracle_override(tasks, args.oracle)
+    _apply_membership_override(tasks, args.membership)
     pool, cache, telemetry = _fleet_pieces(args)
     results = pool.run(tasks, cache=cache, telemetry=telemetry)
     failed = False
@@ -527,10 +648,116 @@ def _run_service_command(args) -> int:
         payload={"spec": raw},
     )
     _apply_oracle_override([task], args.oracle)
+    _apply_membership_override([task], args.membership)
     pool, cache, telemetry = _fleet_pieces(args)
     result = pool.run([task], cache=cache, telemetry=telemetry)[0]
     if not result.ok:
         print(f"service run FAILED: {result.error}", file=sys.stderr)
+        return 1
+    print(result.value["rendered"])
+    _print_membership_reports(result.value.get("membership"))
+    _finish_fleet(args, telemetry)
+    if args.json:
+        path = Path(args.json)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result.value["report"], indent=2, sort_keys=True) + "\n")
+        print(f"wrote service report JSON to {path}")
+    return 0
+
+
+def _membership_churn_schedule(nodes: int, duration_s: float) -> dict:
+    """Deterministic rolling churn: upper nodes leave, dwell out 4s, rejoin.
+
+    Nodes 1-3 stay resident so the member median always has
+    ``min_observers`` voters; every other node takes one leave/join round
+    trip, staggered 2s apart starting at t=5s. Round trips that would not
+    complete 2s before the end of the run are dropped.
+    """
+    schedule: list[dict] = []
+    t = 5.0
+    for index in range(4, nodes + 1):
+        if t + 4.0 > duration_s - 2.0:
+            break
+        schedule.append({"t_s": t, "node": index, "action": "leave"})
+        schedule.append({"t_s": t + 4.0, "node": index, "action": "join"})
+        t += 2.0
+    return {"schedule": schedule}
+
+
+def _membership_spec_dict(args) -> dict:
+    """Compile the ``membership`` subcommand flags into a spec dict."""
+    nodes = args.nodes
+    victim = min(3, nodes)  # paper numbering: node 3 is the compromised one
+    attacks: list[dict] = []
+    if args.attack == "fplus":
+        attacks = [{"type": "fplus", "victim": victim, "delay_ms": 100}]
+    elif args.attack == "fminus-propagation":
+        # Mirror the fig6 timeline: honest AEX streams (the peer-untaint
+        # adoption vector) come online at t=3s, after the attacker has
+        # skewed the victim's initial calibration — the containment race
+        # the headline experiment pins (see docs/membership.md).
+        attacks = [
+            {"type": "fminus", "victim": victim, "delay_ms": 100},
+            {
+                "type": "aex-onset",
+                "nodes": [i for i in range(1, nodes + 1) if i != victim],
+                "at_s": 3,
+            },
+        ]
+    elif args.attack == "ta-blackhole":
+        attacks = [{"type": "ta-blackhole"}]
+    raw = {
+        "name": f"membership-{args.attack}",
+        "seed": args.seed,
+        "duration_s": args.duration_s,
+        "nodes": nodes,
+        "environments": {str(i): "triad-like" for i in range(1, nodes + 1)},
+        "attacks": attacks,
+        "membership": {"mode": args.mode, "epoch_s": args.epoch_s},
+    }
+    if args.attack == "churn":
+        raw["churn"] = _membership_churn_schedule(nodes, args.duration_s)
+    return raw
+
+
+def _run_membership_command(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError
+    from repro.experiments.spec import ExperimentSpec
+    from repro.fleet import RunTask
+
+    invalid = _validate_fleet_flags(args)
+    if invalid is not None:
+        return invalid
+    if args.attack == "churn" and args.nodes < 4:
+        print(
+            f"error: --attack churn needs --nodes >= 4 (nodes 1-3 stay "
+            f"resident), got {args.nodes}",
+            file=sys.stderr,
+        )
+        return 2
+    raw = _membership_spec_dict(args)
+    try:
+        spec = ExperimentSpec.from_dict(raw)  # fail on bad flags before any worker runs
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    task = RunTask(
+        kind="membership",
+        name=spec.name,
+        seed=spec.seed,
+        duration_ns=spec.duration_ns,
+        payload={"spec": raw},
+    )
+    _apply_oracle_override([task], args.oracle)
+    _apply_membership_override([task], args.membership)
+    pool, cache, telemetry = _fleet_pieces(args)
+    result = pool.run([task], cache=cache, telemetry=telemetry)[0]
+    if not result.ok:
+        print(f"membership run FAILED: {result.error}", file=sys.stderr)
         return 1
     print(result.value["rendered"])
     _finish_fleet(args, telemetry)
@@ -539,7 +766,7 @@ def _run_service_command(args) -> int:
         if path.parent != Path(""):
             path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(result.value["report"], indent=2, sort_keys=True) + "\n")
-        print(f"wrote service report JSON to {path}")
+        print(f"wrote membership report JSON to {path}")
     return 0
 
 
@@ -563,6 +790,7 @@ def _run_hunt(args) -> int:
             population=args.population,
             corpus_dir=Path(args.corpus_dir),
             shrink=args.shrink,
+            membership=args.membership,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -587,13 +815,18 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 0
 
     if args.command == "run":
-        result, oracle_exit = _oracle_run(
+        bundle, oracle_exit = _oracle_run(
             args.oracle,
-            lambda: _run_experiment(args.experiment, args.seed, args.duration_s),
+            lambda: _membership_run(
+                args.membership,
+                lambda: _run_experiment(args.experiment, args.seed, args.duration_s),
+            ),
         )
-        if result is None:
+        if bundle is None:
             return oracle_exit
+        result, membership_reports = bundle
         _print_result(args.experiment, result)
+        _print_membership_reports(membership_reports)
         if args.export:
             from repro.analysis.export import export_experiment
 
@@ -615,14 +848,22 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.experiments.spec import ExperimentSpec
 
         spec = ExperimentSpec.load(args.spec_path)
-        experiment, oracle_exit = _oracle_run(args.oracle, spec.run)
-        if experiment is None:
+        bundle, oracle_exit = _oracle_run(
+            args.oracle, lambda: _membership_run(args.membership, spec.run)
+        )
+        if bundle is None:
             return oracle_exit
+        experiment, membership_reports = bundle
         result = DriftFigureResult(experiment=experiment, duration_ns=spec.duration_ns)
         print(result.render(f"spec: {spec.name} ({spec.protocol}, {spec.duration_s:.0f}s)"))
         if experiment.service is not None:
             print()
             print(experiment.service.report().render())
+        if experiment.membership is not None and not membership_reports:
+            # Spec-block engines are not policy-created, so they are not in
+            # the drained reports; print them directly.
+            _print_membership_reports(experiment.membership.report())
+        _print_membership_reports(membership_reports)
         if args.export:
             from repro.analysis.export import export_experiment
 
@@ -632,6 +873,9 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     if args.command == "service":
         return _run_service_command(args)
+
+    if args.command == "membership":
+        return _run_membership_command(args)
 
     if args.command == "hunt":
         return _run_hunt(args)
@@ -662,7 +906,9 @@ def main(argv: Optional[list[str]] = None) -> int:
                     _print_result(name, _run_experiment(name, None, None))
             return True
 
-        _done, oracle_exit = _oracle_run(args.oracle, reproduce_serial)
+        _done, oracle_exit = _oracle_run(
+            args.oracle, lambda: _membership_run(args.membership, reproduce_serial)
+        )
         return oracle_exit
 
     return 1  # pragma: no cover - argparse enforces valid commands

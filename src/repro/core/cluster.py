@@ -79,6 +79,11 @@ class ClusterConfig:
     #: Used for mixed deployments, e.g. honest hardened nodes plus one
     #: :class:`repro.attacks.byzantine.ByzantineTriadNode`.
     node_classes: Optional[Sequence[Optional[type]]] = None
+    #: 1-based indices of nodes absent at simulation start (cluster churn).
+    #: Absent nodes are constructed dormant — fully wired with endpoint and
+    #: keys, but running no threads — with their host detached from the
+    #: network fabric; :meth:`TriadCluster.join` brings them online later.
+    initial_absent: Sequence[int] = ()
 
 
 class TriadCluster:
@@ -90,6 +95,14 @@ class TriadCluster:
         cfg = self.config
         if cfg.node_count < 1:
             raise ConfigurationError(f"need at least one node, got {cfg.node_count}")
+        absent = set(cfg.initial_absent)
+        for index in absent:
+            if not 1 <= index <= cfg.node_count:
+                raise ConfigurationError(
+                    f"initial_absent index {index} out of range 1..{cfg.node_count}"
+                )
+        if len(absent) >= cfg.node_count:
+            raise ConfigurationError("at least one node must be present at start")
 
         if cfg.separate_machines:
             cores = list(cfg.monitoring_cores) if cfg.monitoring_cores else [0] * cfg.node_count
@@ -187,10 +200,21 @@ class TriadCluster:
                 core_index=cores[i],
                 config=node_cfg,
                 calibrator=calibrator,
+                dormant=(i + 1) in absent,
             )
             node.ta_names = list(ta_names)
             self.nodes.append(node)
         self.monitoring_cores = cores
+
+        #: Presence per node name (cluster churn): absent nodes neither
+        #: send nor receive, and membership evidence skips them.
+        self._present: dict[str, bool] = {
+            node.name: (i + 1) not in absent for i, node in enumerate(self.nodes)
+        }
+        for i in sorted(absent):
+            self.network.set_host_down(self.nodes[i - 1].name)
+        #: Churn event journal: (time_ns, node_name, action) in event order.
+        self.churn_events: list[tuple[int, str, str]] = []
         #: Invariant oracle watching this deployment, per the process-wide
         #: policy (None unless a policy is installed). Attaching here makes
         #: coverage universal: every code path that wires a cluster — CLI
@@ -200,6 +224,59 @@ class TriadCluster:
         from repro.oracle.policy import attach_from_policy
 
         self.oracle = attach_from_policy(sim, self.nodes)
+
+        #: Membership controller watching this deployment, per the
+        #: process-wide membership policy (None unless one is installed).
+        #: Same universal-coverage rationale (and same lazy-import cycle)
+        #: as the oracle attach above.
+        from repro.membership.policy import attach_from_policy as attach_membership
+
+        self.membership = attach_membership(self)
+
+    # -- cluster churn -------------------------------------------------------
+
+    def is_present(self, index: int) -> bool:
+        """Whether the index-th node (1-based) is currently in the cluster."""
+        return self._present[self.node(index).name]
+
+    @property
+    def present_names(self) -> list[str]:
+        """Names of currently present nodes, in index order."""
+        return [node.name for node in self.nodes if self._present[node.name]]
+
+    def leave(self, index: int) -> None:
+        """Detach the index-th node from the cluster (churn departure).
+
+        The node's processes keep running — a departed enclave does not
+        know it left — but no traffic crosses the fabric in either
+        direction, including datagrams already in flight. Departing during
+        the node's own FullCalib window is hazardous: a black-holed
+        calibration exhausts ``calibration_max_attempts`` and crashes the
+        run, so authored churn schedules must avoid that window.
+        """
+        node = self.node(index)
+        if not self._present[node.name]:
+            raise ConfigurationError(f"{node.name} is already absent")
+        self._present[node.name] = False
+        self.network.set_host_down(node.name)
+        self.churn_events.append((self.sim.now, node.name, "leave"))
+
+    def join(self, index: int) -> None:
+        """(Re-)attach the index-th node to the cluster (churn arrival).
+
+        Re-attaches the host to the fabric and, for a dormant node, boots
+        its threads: the node runs its initial FullCalib exactly as if it
+        had been constructed live at this instant. A rejoining node that
+        already ran simply resumes its retry loops.
+        """
+        node = self.node(index)
+        if self._present[node.name]:
+            raise ConfigurationError(f"{node.name} is already present")
+        self._present[node.name] = True
+        self.network.set_host_down(node.name, down=False)
+        action = "join" if node.dormant else "rejoin"
+        node.activate()
+        self.churn_events.append((self.sim.now, node.name, action))
 
     def node(self, index: int) -> TriadNode:
         """The index-th node, 1-based to match the paper's numbering."""

@@ -141,6 +141,7 @@ class TriadNode:
         core_index: int,
         config: Optional[TriadNodeConfig] = None,
         calibrator: Optional[Calibrator] = None,
+        dormant: bool = False,
     ) -> None:
         self.sim = sim
         self.endpoint = endpoint
@@ -174,7 +175,30 @@ class TriadNode:
         self._wake_event: Optional[Event] = None
         self._phase: Optional[NodeState] = None  # FULL_CALIB / REF_CALIB while active
 
-        machine.port(core_index).subscribe(self._on_aex)
+        #: A dormant node is fully wired (endpoint, keys, clock) but runs
+        #: no threads until :meth:`activate` — how cluster churn models a
+        #: member that has not joined yet. Its clock stays uncalibrated
+        #: and it never answers traffic, so the rest of the cluster sees
+        #: exactly what it would see from a powered-off host.
+        self.dormant = dormant
+        self.message_process = None
+        self.main_process = None
+        self.monitor_process = None
+        if not dormant:
+            self.activate()
+
+    def activate(self) -> None:
+        """Start the node's threads (no-op if already running).
+
+        Dormant nodes call this at churn-join time: the enclave boots,
+        subscribes its AEX handler, and enters the initial FullCalib just
+        like a node constructed live.
+        """
+        if self.message_process is not None:
+            return
+        self.dormant = False
+        self.machine.port(self.core_index).subscribe(self._on_aex)
+        sim = self.sim
         self.message_process = sim.process(self._message_loop(), name=f"{self.name}/messages")
         self.main_process = sim.process(self._main_loop(), name=f"{self.name}/main")
         if self.config.monitor_enabled:

@@ -33,9 +33,19 @@ from repro.errors import ConfigurationError
 #:   ``"machine-wide"``, ``"rdmsr-sim"``, ``"monitor-alert"``). The cheap
 #:   coverage tap of :mod:`repro.hunt.coverage`: together with ``state``
 #:   and ``calibration`` events it spans the protocol-state coverage
-#:   tuples ``(node_state, taint-cause, calibration-phase)`` the search
-#:   engine's fitness is guided by.
-PROBE_KINDS = ("serve", "untaint", "state", "calibration", "monitor-alert", "taint")
+#:   tuples ``(node_state, taint-cause, calibration-phase, verdict)``
+#:   the search engine's fitness is guided by;
+#: * ``membership`` — the membership engine flipped this node's verdict
+#:   (``data: verdict``/``previous``, :mod:`repro.membership` values).
+PROBE_KINDS = (
+    "serve",
+    "untaint",
+    "state",
+    "calibration",
+    "monitor-alert",
+    "taint",
+    "membership",
+)
 
 ProbeCallback = Callable[["ProbeEvent"], None]
 

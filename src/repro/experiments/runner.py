@@ -45,6 +45,11 @@ class Experiment:
     #: deploys the client-facing service layer (set by
     #: :meth:`TimeService.attach`; None for protocol-only experiments).
     service: Optional[object] = None
+    #: Attached :class:`~repro.membership.MembershipController`, when the
+    #: scenario runs the membership control plane (set by
+    #: :meth:`MembershipController.attach` or bound from the cluster's
+    #: policy-attached controller by the scenario builders).
+    membership: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.expected_violations |= expected_for(self.name)

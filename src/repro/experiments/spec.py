@@ -40,6 +40,20 @@ front-ends, session workloads, and Marzullo quorum clients over the
 cluster, and the fleet's ``service`` task kind reports client-visible
 SLO metrics instead of the drift table. Validation errors name the
 offending key (``service.sessions: ...``).
+
+Two further blocks wire the membership control plane
+(:mod:`repro.membership`):
+
+* ``membership`` — ``{"mode": "observe" | "enforce", ...}`` plus any
+  :class:`repro.membership.MembershipConfig` keys; attaches an epoch
+  membership engine to the cluster (replacing any policy-attached one).
+* ``churn`` — ``{"absent": [indices], "schedule": [{"t_s": ...,
+  "node": ..., "action": "leave" | "join"}]}``; nodes listed in
+  ``absent`` start dormant and off the fabric, and the schedule drives
+  deterministic join/leave/rejoin at the given instants. Caution: a node
+  that leaves during its own (re)calibration window black-holes its TA
+  exchanges and the run fails with a calibration error — schedules must
+  keep departures clear of FullCalib windows.
 """
 
 from __future__ import annotations
@@ -119,7 +133,13 @@ _SPEC_KEYS = {
     "attacks",
     "schedule",
     "service",
+    "membership",
+    "churn",
 }
+
+_CHURN_KEYS = {"absent", "schedule"}
+_CHURN_ENTRY_KEYS = {"t_s", "node", "action"}
+_CHURN_ACTIONS = ("leave", "join")
 
 
 @dataclass
@@ -143,6 +163,14 @@ class ExperimentSpec:
     #: deploys per-node front-ends plus quorum clients over the cluster
     #: and makes the run report client-visible SLO metrics.
     service: Optional[dict[str, Any]] = None
+    #: Membership block: ``{"mode": "observe"|"enforce"}`` plus any
+    #: :class:`repro.membership.MembershipConfig` keys. Attaches an epoch
+    #: membership engine (verdicts, and in enforce mode epoch-key
+    #: rotation) to the cluster.
+    membership: Optional[dict[str, Any]] = None
+    #: Churn block: ``{"absent": [...], "schedule": [{"t_s", "node",
+    #: "action"}]}`` — deterministic join/leave/rejoin over the run.
+    churn: Optional[dict[str, Any]] = None
 
     # -- construction & validation -------------------------------------------
 
@@ -169,6 +197,110 @@ class ExperimentSpec:
             self._validate_schedule_entry(index, entry)
         if self.service is not None:
             self._validate_service(self.service)
+        if self.membership is not None:
+            self._validate_membership(self.membership)
+        if self.churn is not None:
+            self._validate_churn(self.churn)
+
+    def _validate_membership(self, raw: dict[str, Any]) -> None:
+        # Imported here for the same layering reason as the service block.
+        from repro.membership.config import MembershipConfig
+        from repro.membership.engine import CONTROLLER_MODES
+
+        if not isinstance(raw, dict):
+            raise ConfigurationError(
+                f"membership: block must be an object, got {type(raw).__name__}"
+            )
+        mode = raw.get("mode", "observe")
+        if mode not in CONTROLLER_MODES:
+            raise ConfigurationError(
+                f"membership.mode: unknown mode {mode!r}; "
+                f"choose from {CONTROLLER_MODES}"
+            )
+        config_keys = {k: v for k, v in raw.items() if k != "mode"}
+        MembershipConfig.from_dict(config_keys)
+
+    def _validate_churn(self, raw: dict[str, Any]) -> None:
+        if not isinstance(raw, dict):
+            raise ConfigurationError(
+                f"churn: block must be an object, got {type(raw).__name__}"
+            )
+        unknown = set(raw) - _CHURN_KEYS
+        if unknown:
+            raise ConfigurationError(f"churn: unknown keys {sorted(unknown)}")
+        absent = raw.get("absent", [])
+        if not isinstance(absent, list):
+            raise ConfigurationError("churn.absent: must be a list of node indices")
+        seen: set[int] = set()
+        for value in absent:
+            index = self._churn_index("churn.absent", value)
+            if index in seen:
+                raise ConfigurationError(f"churn.absent: duplicate node {index}")
+            seen.add(index)
+        if len(seen) >= self.nodes:
+            raise ConfigurationError(
+                "churn.absent: at least one node must be present at start"
+            )
+        schedule = raw.get("schedule", [])
+        if not isinstance(schedule, list):
+            raise ConfigurationError("churn.schedule: must be a list of entries")
+        present = set(range(1, self.nodes + 1)) - seen
+        for position, entry in enumerate(self._churn_entries(schedule)):
+            where = f"churn.schedule[{position}]"
+            if not isinstance(entry, dict):
+                raise ConfigurationError(
+                    f"{where}: entry must be an object, got {type(entry).__name__}"
+                )
+            unknown = set(entry) - _CHURN_ENTRY_KEYS
+            if unknown:
+                raise ConfigurationError(f"{where}: unknown keys {sorted(unknown)}")
+            missing = _CHURN_ENTRY_KEYS - set(entry)
+            if missing:
+                raise ConfigurationError(f"{where}: missing keys {sorted(missing)}")
+            t_s = entry["t_s"]
+            if isinstance(t_s, bool) or not isinstance(t_s, (int, float)) or t_s < 0:
+                raise ConfigurationError(
+                    f"{where}: t_s must be a non-negative number, got {t_s!r}"
+                )
+            index = self._churn_index(where, entry["node"])
+            action = entry["action"]
+            if action not in _CHURN_ACTIONS:
+                raise ConfigurationError(
+                    f"{where}: unknown action {action!r}; choose from {_CHURN_ACTIONS}"
+                )
+            if action == "leave":
+                if index not in present:
+                    raise ConfigurationError(
+                        f"{where}: node {index} is already absent at t_s={t_s}"
+                    )
+                present.discard(index)
+            else:
+                if index in present:
+                    raise ConfigurationError(
+                        f"{where}: node {index} is already present at t_s={t_s}"
+                    )
+                present.add(index)
+
+    def _churn_index(self, where: str, value: Any) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigurationError(
+                f"{where}: node index must be an integer, got {value!r}"
+            )
+        if not 1 <= value <= self.nodes:
+            raise ConfigurationError(
+                f"{where}: node {value} outside cluster of {self.nodes} node(s)"
+            )
+        return value
+
+    @staticmethod
+    def _churn_entries(schedule: list) -> list:
+        """Schedule entries in application order (time, then list order)."""
+        return sorted(
+            schedule,
+            key=lambda entry: (
+                entry.get("t_s", 0) if isinstance(entry, dict) else 0
+            ),
+        )
 
     def _validate_service(self, raw: dict[str, Any]) -> None:
         # Imported here: repro.service pulls in the experiment runner,
@@ -318,6 +450,8 @@ class ExperimentSpec:
                 "attacks": self.attacks,
                 "schedule": self.schedule,
                 "service": self.service,
+                "membership": self.membership,
+                "churn": self.churn,
             },
             indent=2,
         )
@@ -338,15 +472,29 @@ class ExperimentSpec:
             )
             for index in range(1, self.nodes + 1)
         }
+        initial_absent: tuple[int, ...] = ()
+        if self.churn is not None:
+            initial_absent = tuple(sorted(self.churn.get("absent", [])))
+        # Shared-host clusters pin one monitoring core per node; specs may
+        # deploy hundreds of nodes, so the host grows beyond the paper's
+        # 32 cores when needed (identical machine for nodes <= 32).
+        core_count = max(32, self.nodes)
         if self.protocol == "hardened":
             cluster_config = ClusterConfig(
                 node_count=self.nodes,
+                core_count=core_count,
                 ta_count=self.ta_count,
                 node_class=HardenedTriadNode,
                 node_config=HardenedNodeConfig(),
+                initial_absent=initial_absent,
             )
         else:
-            cluster_config = ClusterConfig(node_count=self.nodes, ta_count=self.ta_count)
+            cluster_config = ClusterConfig(
+                node_count=self.nodes,
+                core_count=core_count,
+                ta_count=self.ta_count,
+                initial_absent=initial_absent,
+            )
 
         machine_wide_mean = (
             None
@@ -366,11 +514,38 @@ class ExperimentSpec:
             self._apply_attack(experiment, attack)
         for index, entry in enumerate(self.schedule):
             self._apply_schedule_entry(experiment, index, entry)
+        if self.churn is not None:
+            self._apply_churn(experiment)
         if self.service is not None:
             from repro.service import ServiceConfig, TimeService
 
             TimeService.attach(experiment, ServiceConfig.from_dict(self.service))
+        if self.membership is not None:
+            from repro.membership.config import MembershipConfig
+            from repro.membership.engine import MembershipController
+
+            raw = dict(self.membership)
+            mode = raw.pop("mode", "observe")
+            MembershipController.attach(
+                experiment, config=MembershipConfig.from_dict(raw), mode=mode
+            )
         return experiment
+
+    def _apply_churn(self, experiment: Experiment) -> None:
+        cluster = experiment.cluster
+        sim = experiment.sim
+        for position, entry in enumerate(
+            self._churn_entries(self.churn.get("schedule", []))
+        ):
+            t_ns = int(float(entry["t_s"]) * SECOND)
+            index = int(entry["node"])
+            action = entry["action"]
+            apply = cluster.leave if action == "leave" else cluster.join
+
+            def fire(apply=apply, index=index):
+                apply(index)
+
+            at(sim, t_ns, fire, name=f"churn[{position}]/{action}-node{index}")
 
     def run(self) -> Experiment:
         """Build and run to the configured duration."""

@@ -13,8 +13,8 @@ objects. That buys three things at once:
   nothing else, so the result is a pure function of the task.
 
 Executors are registered per ``kind`` with :func:`register_runner`; the
-built-in kinds are ``sweep-point``, ``spec``, ``service``, ``hunt-genome``
-and ``experiment``. An
+built-in kinds are ``sweep-point``, ``spec``, ``service``, ``hunt-genome``,
+``membership`` and ``experiment``. An
 executor returns a JSON-able dict (it must round-trip through
 ``json.dumps``/``loads`` unchanged — the cache stores it that way) and
 should include a ``sim_ns`` entry so telemetry can report simulated
@@ -144,17 +144,47 @@ def execute_task(task: RunTask) -> dict:
     :class:`~repro.errors.OracleViolationError`.
     """
     mode = str(task.overrides.get("oracle") or "off")
-    if mode == "off":
+    membership_mode = str(task.overrides.get("membership") or "off")
+    if mode == "off" and membership_mode == "off":
         return runner_for(task.kind)(task)
 
-    from repro.oracle.policy import drain_created_oracles, oracle_policy
+    from contextlib import ExitStack
 
-    with oracle_policy(mode):
-        drain_created_oracles()
+    controllers: list = []
+    oracles: list = []
+    with ExitStack() as stack:
+        if membership_mode != "off":
+            from repro.membership.policy import (
+                drain_created_controllers,
+                membership_policy,
+            )
+
+            stack.enter_context(membership_policy(membership_mode))
+            drain_created_controllers()
+        if mode != "off":
+            from repro.oracle.policy import drain_created_oracles, oracle_policy
+
+            stack.enter_context(oracle_policy(mode))
+            drain_created_oracles()
         try:
             value = runner_for(task.kind)(task)
         finally:
-            oracles = drain_created_oracles()
+            if membership_mode != "off":
+                controllers = drain_created_controllers()
+            if mode != "off":
+                oracles = drain_created_oracles()
+
+    # (node, invariant) pairs the membership engine downgraded to expected
+    # by quarantining/evicting the node — a cut node's violations are the
+    # containment working, so strict mode must not fail on them.
+    downgrades: set = set()
+    reports: list[dict] = []
+    for controller in controllers:
+        downgrades |= controller.expected_downgrades
+        if not controller.retired:
+            reports.append(controller.report())
+    if isinstance(value, dict) and reports:
+        value = {**value, "membership": reports[0] if len(reports) == 1 else reports}
 
     violations: list[dict] = []
     unexpected: list[dict] = []
@@ -165,6 +195,12 @@ def execute_task(task: RunTask) -> dict:
             # that never went through an Experiment.
             oracle.name = task.name
         oracle.finalize()
+        if downgrades and oracle.expected is None:
+            # Runs that went through Experiment.run already folded the
+            # downgrades into their expected set; this is the fallback.
+            from repro.oracle.expectations import expected_for
+
+            oracle.expected = frozenset(set(expected_for(oracle.name)) | downgrades)
         violations.extend(v.to_dict() for v in oracle.violations)
         unexpected.extend(v.to_dict() for v in oracle.unexpected_violations())
     if isinstance(value, dict) and violations:
@@ -265,6 +301,34 @@ def _run_service(task: RunTask) -> dict:
         "spec": spec.name,
         "report": report.to_dict(),
         "rendered": report.render(),
+        "sim_ns": spec.duration_ns,
+    }
+
+
+@register_runner("membership")
+def _run_membership(task: RunTask) -> dict:
+    """Execute a membership-plane spec and report verdicts/containment."""
+    from repro.experiments.spec import ExperimentSpec
+    from repro.membership.engine import render_report
+
+    spec = ExperimentSpec.from_dict(dict(task.payload["spec"]))
+    if spec.membership is None:
+        raise FleetError(
+            f"membership task {task.name!r} needs a spec with a 'membership' block"
+        )
+    experiment = spec.run()
+    report = experiment.membership.report()
+    drift = {
+        node.name: experiment.recorder[node.name].samples[-1][1]
+        if experiment.recorder[node.name].samples
+        else None
+        for node in experiment.cluster.nodes
+    }
+    return {
+        "spec": spec.name,
+        "report": report,
+        "final_drift_ns": drift,
+        "rendered": render_report(report),
         "sim_ns": spec.duration_ns,
     }
 

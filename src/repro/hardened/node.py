@@ -101,6 +101,7 @@ class HardenedTriadNode(TriadNode):
         core_index: int,
         config: Optional[HardenedNodeConfig] = None,
         calibrator: Optional["Calibrator"] = None,
+        dormant: bool = False,
     ) -> None:
         self.hardened_config = config or HardenedNodeConfig()
         if self.hardened_config.delay_filter_ratio < 1.0:
@@ -113,6 +114,7 @@ class HardenedTriadNode(TriadNode):
             core_index,
             config=self.hardened_config,
             calibrator=calibrator,
+            dormant=dormant,
         )
         self.hardened_stats = HardenedStats()
         #: Optional §V bulletin board; assign one to make this node publish

@@ -7,7 +7,7 @@ bound. Coverage gives the flat landscape texture: a
 (:mod:`repro.core.probes`, zero simulated-time cost) and folds the event
 stream into a set of
 
-    ``(node_state, taint_cause, calibration_phase)``
+    ``(node_state, taint_cause, calibration_phase, membership_verdict)``
 
 tuples. The components:
 
@@ -18,7 +18,15 @@ tuples. The components:
   ``"untaint:<source-class>"`` (``"untaint:peer"``, ``"untaint:authority"``,
   …) so recovery paths are distinguishable from attack paths;
 * **calibration_phase** — ``pre-calib`` / ``calibrated`` / ``recalibrated``
-  by counting completed full calibrations (``calibration`` probes).
+  by counting completed full calibrations (``calibration`` probes);
+* **membership_verdict** — the node's last membership verdict
+  (``membership`` probes from :mod:`repro.membership`), ``"member"``
+  until the control plane flips it. Schedules that skew a clock while
+  *staying under* the quarantine thresholds — or that drag honest nodes
+  into quarantine — become distinct coverage, so the hunt can chase
+  quarantine evasion and false-eviction amplification as first-class
+  targets. Runs without a membership engine never emit the probe and
+  stay entirely on the ``"member"`` plane.
 
 Tuples are node-*agnostic* (no node name inside), so a schedule hitting
 node 3 the way another hit node 1 is rightly considered "nothing new".
@@ -37,11 +45,12 @@ from repro.core.probes import ProbeEvent
 #: Component defaults before the first relevant probe arrives.
 PRE_STATE = "pre-state"
 NO_TAINT = "none"
+NO_VERDICT = "member"
 
 #: Calibration-phase buckets by completed full calibrations.
 PHASES = ("pre-calib", "calibrated", "recalibrated")
 
-CoverageTuple = tuple[str, str, str]
+CoverageTuple = tuple[str, str, str, str]
 
 
 def _phase(calibrations: int) -> str:
@@ -56,6 +65,7 @@ class CoverageCollector:
         self._state: dict[str, str] = {}
         self._cause: dict[str, str] = {}
         self._calibrations: dict[str, int] = {}
+        self._verdict: dict[str, str] = {}
 
     def attach(self, nodes: Iterable) -> None:
         """Subscribe to every node's probe hub."""
@@ -75,6 +85,8 @@ class CoverageCollector:
             self._cause[node] = "untaint:" + source.split(":", 1)[0]
         elif event.kind == "calibration":
             self._calibrations[node] = self._calibrations.get(node, 0) + 1
+        elif event.kind == "membership":
+            self._verdict[node] = str(event.data.get("verdict", "unknown"))
         else:
             # serve / monitor-alert don't move the coverage state machine
             # (alerts arrive alongside a taint probe that does).
@@ -84,6 +96,7 @@ class CoverageCollector:
                 self._state.get(node, PRE_STATE),
                 self._cause.get(node, NO_TAINT),
                 _phase(self._calibrations.get(node, 0)),
+                self._verdict.get(node, NO_VERDICT),
             )
         )
 

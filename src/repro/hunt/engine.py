@@ -138,8 +138,16 @@ class HuntConfig:
     corpus_dir: Optional[Path] = None
     shrink: bool = True
     max_findings: int = 8
+    #: "off" | "observe" | "enforce" — attach the membership engine to
+    #: every genome run, adding the verdict plane to coverage.
+    membership: str = "off"
 
     def __post_init__(self) -> None:
+        if self.membership not in ("off", "observe", "enforce"):
+            raise ConfigurationError(
+                f"membership must be 'off', 'observe' or 'enforce', "
+                f"got {self.membership!r}"
+            )
         if self.budget < 1:
             raise ConfigurationError(f"budget must be >= 1, got {self.budget}")
         if self.population < 1:
@@ -257,7 +265,11 @@ class HuntEngine:
             batch = batch[: cfg.budget - evaluated]
             tasks = [
                 make_hunt_task(
-                    genome, seed=cfg.seed, duration_s=cfg.duration_s, nodes=cfg.nodes
+                    genome,
+                    seed=cfg.seed,
+                    duration_s=cfg.duration_s,
+                    nodes=cfg.nodes,
+                    membership=cfg.membership,
                 )
                 for genome in batch
             ]
@@ -311,6 +323,7 @@ class HuntEngine:
             seed=self.config.seed,
             duration_s=self.config.duration_s,
             nodes=self.config.nodes,
+            membership=self.config.membership,
         )
         return finding_edges(value.get("violations", []))
 
@@ -337,6 +350,7 @@ class HuntEngine:
                 duration_s=cfg.duration_s,
                 nodes=cfg.nodes,
                 name=f"hunt-finding-{record['id']}",
+                membership_mode=None if cfg.membership == "off" else cfg.membership,
             )
             record["spec"] = json.loads(spec.to_json())
         return shrink_evals

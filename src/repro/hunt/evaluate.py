@@ -30,15 +30,30 @@ HUNT_TASK_KIND = "hunt-genome"
 
 
 def make_hunt_task(
-    genome: Genome, *, seed: int, duration_s: float, nodes: int = 3
+    genome: Genome,
+    *,
+    seed: int,
+    duration_s: float,
+    nodes: int = 3,
+    membership: str = "off",
 ) -> RunTask:
-    """Package a genome as a self-contained fleet task."""
+    """Package a genome as a self-contained fleet task.
+
+    ``membership`` (``"observe"``/``"enforce"``) rides in the payload —
+    not in ``overrides`` — because the engine must be part of the spec
+    the runner builds (its verdict probes feed the coverage collector
+    attached before the run), and because it changes the simulation, so
+    it belongs in the content hash alongside the genome.
+    """
+    payload = {"genome": genome, "duration_s": duration_s, "nodes": nodes}
+    if membership != "off":
+        payload["membership"] = membership
     return RunTask(
         kind=HUNT_TASK_KIND,
         name=f"genome-{genome_key(genome)}",
         seed=seed,
         duration_ns=None,
-        payload={"genome": genome, "duration_s": duration_s, "nodes": nodes},
+        payload=payload,
         overrides={"oracle": "warn"},
     )
 
@@ -47,30 +62,48 @@ def evaluate_genome_task(task: RunTask) -> dict[str, Any]:
     """Executor body for ``hunt-genome`` tasks (runs inside workers)."""
     from repro.hunt.coverage import CoverageCollector
 
+    membership = str(task.payload.get("membership", "off"))
     spec = genome_to_spec(
         list(task.payload["genome"]),
         seed=int(task.seed or 0),
         duration_s=float(task.payload["duration_s"]),
         nodes=int(task.payload.get("nodes", 3)),
         name=task.name,
+        membership_mode=None if membership == "off" else membership,
     )
     experiment = spec.build()
     collector = CoverageCollector()
     collector.attach(experiment.cluster.nodes)
     experiment.run(spec.duration_ns)
-    return {
+    value = {
         "genome": spec.schedule,
         "coverage": collector.as_lists(),
         "sim_ns": spec.duration_ns,
     }
+    if experiment.membership is not None:
+        value["membership"] = experiment.membership.report()
+    return value
 
 
 def evaluate_genome(
-    genome: Genome, *, seed: int, duration_s: float, nodes: int = 3
+    genome: Genome,
+    *,
+    seed: int,
+    duration_s: float,
+    nodes: int = 3,
+    membership: str = "off",
 ) -> dict[str, Any]:
     """Evaluate one genome in-process (the shrinker's re-check path).
 
     Returns the runner's value with ``violations`` attached, exactly as a
     fleet worker would have produced it.
     """
-    return execute_task(make_hunt_task(genome, seed=seed, duration_s=duration_s, nodes=nodes))
+    return execute_task(
+        make_hunt_task(
+            genome,
+            seed=seed,
+            duration_s=duration_s,
+            nodes=nodes,
+            membership=membership,
+        )
+    )

@@ -88,6 +88,7 @@ def genome_to_spec(
     duration_s: float,
     nodes: int = 3,
     name: Optional[str] = None,
+    membership_mode: Optional[str] = None,
 ) -> ExperimentSpec:
     """Wrap a genome in the standard hunt scenario.
 
@@ -95,6 +96,11 @@ def genome_to_spec(
     setup — the INC monitor is active, so "silent" findings mean the
     monitor was genuinely blind, not absent) with machine-wide interrupts
     off for clean attribution of every taint to the schedule.
+
+    ``membership_mode`` (``"observe"``/``"enforce"``) attaches the epoch
+    membership engine, adding the verdict plane to the run's coverage —
+    the hunt then also searches for schedules that evade quarantine or
+    drag honest nodes into it.
     """
     return ExperimentSpec(
         name=name or f"hunt-{genome_key(genome)}",
@@ -104,6 +110,7 @@ def genome_to_spec(
         environments={index: "triad-like" for index in range(1, nodes + 1)},
         machine_wide_mean_s=None,
         schedule=canonical(genome),
+        membership=None if membership_mode is None else {"mode": membership_mode},
     )
 
 

@@ -1,0 +1,96 @@
+"""Evidence collection: peer-estimate divergence, no ground truth.
+
+The membership engine must judge clocks the way a real deployment could:
+from what nodes *serve*, compared against each other. The collector takes
+periodic samples — each a snapshot of the timestamps currently-trusted
+members are serving — and scores every observed node by its absolute
+divergence from the **member median** of that sample. The median is the
+robust centre: with a minority of compromised clocks the median stays
+anchored to honest time, so the compromised minority diverges while the
+honest majority scores near zero.
+
+Nothing here touches the simulator's reference clock
+(:meth:`~repro.core.clock.TrustedClock.drift_ns` is ground truth and is
+deliberately NOT consulted): a real membership controller has no oracle,
+and neither does this one. Per epoch the collector keeps each node's
+*peak* divergence — a clock racing out of bound is a peak phenomenon,
+and averaging would let a fast clock hide behind its own early samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def member_median(readings: list[int]) -> int:
+    """Robust centre of member readings (average-of-middles for even n)."""
+    ordered = sorted(readings)
+    middle = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) // 2
+
+
+@dataclass(frozen=True)
+class EpochEvidence:
+    """The closed book for one epoch."""
+
+    epoch: int
+    #: Samples in which divergence was actually scored (enough observers).
+    scored_samples: int
+    #: Samples skipped for lack of member readings.
+    skipped_samples: int
+    #: Peak |reading − member median| per observed node, in ns. Nodes that
+    #: never produced a reading this epoch are absent from the dict — the
+    #: engine treats "no evidence" as neither clean nor dirty.
+    scores_ns: dict[str, int] = field(default_factory=dict)
+
+
+class EvidenceCollector:
+    """Aggregates divergence observations into per-epoch scores."""
+
+    def __init__(self, min_observers: int) -> None:
+        self.min_observers = min_observers
+        self._scores_ns: dict[str, int] = {}
+        self._scored_samples = 0
+        self._skipped_samples = 0
+        #: All-time peak divergence per node (survives epoch closes).
+        self.peak_ns: dict[str, int] = {}
+
+    def observe(self, readings: dict[str, int], member_names: set[str]) -> bool:
+        """Fold one sample in; returns whether divergence was scored.
+
+        ``readings`` maps node name → served timestamp for every node that
+        answered this sample; only readings from ``member_names`` vote in
+        the median, but *every* reading is scored against it — a
+        quarantined node keeps accumulating evidence (it can clear itself
+        toward probation, or keep diverging toward eviction).
+        """
+        member_readings = [
+            value for name, value in readings.items() if name in member_names
+        ]
+        if len(member_readings) < self.min_observers:
+            self._skipped_samples += 1
+            return False
+        median = member_median(member_readings)
+        self._scored_samples += 1
+        for name, value in readings.items():
+            divergence = abs(value - median)
+            if divergence > self._scores_ns.get(name, -1):
+                self._scores_ns[name] = divergence
+            if divergence > self.peak_ns.get(name, -1):
+                self.peak_ns[name] = divergence
+        return True
+
+    def close_epoch(self, epoch: int) -> EpochEvidence:
+        """Seal the current epoch's scores and reset for the next one."""
+        evidence = EpochEvidence(
+            epoch=epoch,
+            scored_samples=self._scored_samples,
+            skipped_samples=self._skipped_samples,
+            scores_ns=dict(self._scores_ns),
+        )
+        self._scores_ns = {}
+        self._scored_samples = 0
+        self._skipped_samples = 0
+        return evidence

@@ -1,0 +1,120 @@
+"""Process-wide membership policy: how runs acquire their controller.
+
+Mirrors :mod:`repro.oracle.policy` exactly, and for the same reason:
+membership must cover every way a simulation is built — CLI ``run``,
+sweeps, specs, and fleet *worker processes* that rebuild clusters from
+pickled tasks — without threading a controller argument through dozens of
+constructors. The policy is a process-global that
+:class:`~repro.core.cluster.TriadCluster` consults at construction time;
+the CLI installs it once from ``--membership``, and fleet tasks carry the
+mode in their ``overrides`` payload and re-install it inside the worker.
+
+Modes:
+
+* ``off`` — no controller is attached (the default; zero overhead, and
+  the guarantee behind byte-identical golden traces);
+* ``observe`` — verdicts and events are computed and reported, but no
+  key rotates: the engine is a pure measurement;
+* ``enforce`` — verdicts act: each epoch close rotates the epoch secret
+  and non-members are cryptographically cut off from their peers.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+from repro.membership.config import MembershipConfig
+from repro.membership.engine import MembershipController
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.cluster import TriadCluster
+
+#: Valid membership modes, in escalation order.
+MEMBERSHIP_MODES = ("off", "observe", "enforce")
+
+
+@dataclass(frozen=True)
+class MembershipPolicy:
+    """The process-wide membership setting."""
+
+    mode: str = "off"
+    config: MembershipConfig = field(default_factory=MembershipConfig)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MEMBERSHIP_MODES:
+            raise ConfigurationError(
+                f"unknown membership mode {self.mode!r}; choose from {MEMBERSHIP_MODES}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+    @property
+    def enforcing(self) -> bool:
+        return self.mode == "enforce"
+
+
+_policy = MembershipPolicy()
+
+#: Controllers created by :func:`attach_from_policy` since the last drain
+#: — how a fleet task recovers the controller(s) of clusters its runner
+#: built internally (the runner returns figures, not wiring).
+_created_controllers: list[MembershipController] = []
+
+
+def drain_created_controllers() -> list[MembershipController]:
+    """Return and clear the controllers created since the previous drain."""
+    global _created_controllers
+    drained, _created_controllers = _created_controllers, []
+    return drained
+
+
+def current_policy() -> MembershipPolicy:
+    """The policy in force for this process."""
+    return _policy
+
+
+def install_membership_policy(
+    mode: str, config: Optional[MembershipConfig] = None
+) -> MembershipPolicy:
+    """Set the process-wide policy (validates ``mode``)."""
+    global _policy
+    _policy = MembershipPolicy(mode=mode, config=config or MembershipConfig())
+    return _policy
+
+
+def clear_membership_policy() -> None:
+    """Reset to the default (``off``)."""
+    global _policy
+    _policy = MembershipPolicy()
+
+
+@contextmanager
+def membership_policy(mode: str, config: Optional[MembershipConfig] = None):
+    """Scoped policy install — restores the previous policy on exit."""
+    global _policy
+    previous = _policy
+    install_membership_policy(mode, config)
+    try:
+        yield _policy
+    finally:
+        _policy = previous
+
+
+def attach_from_policy(cluster: "TriadCluster") -> Optional[MembershipController]:
+    """Build a controller for a freshly wired cluster, per the policy.
+
+    Returns ``None`` in ``off`` mode. Called by
+    :class:`~repro.core.cluster.TriadCluster` at the end of construction,
+    which is what makes membership coverage universal: every code path
+    that builds a cluster gets a control plane without knowing it exists.
+    """
+    if not _policy.enabled:
+        return None
+    controller = MembershipController(cluster, config=_policy.config, mode=_policy.mode)
+    _created_controllers.append(controller)
+    return controller

@@ -1,0 +1,74 @@
+"""Membership verdicts and the events that record verdict changes.
+
+The engine assigns every node exactly one verdict per epoch; the ladder
+and its hysteresis rules live in :mod:`repro.membership.engine`. Verdicts
+split into *member* states (the node holds the current epoch key and its
+readings feed the evidence median) and *cut-off* states (no epoch key; in
+enforce mode its peer traffic fails authentication in both directions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class MembershipVerdict(Enum):
+    """Where a node stands with the membership engine."""
+
+    #: In good standing: full member, clean recent history.
+    ACTIVE = "active"
+    #: Member, but its last epoch was dirty; next dirty epoch escalates.
+    SUSPECT = "suspect"
+    #: Cut off from peers (key withheld); the TA link stays, so a falsely
+    #: quarantined node can re-anchor, run clean epochs, and earn probation.
+    QUARANTINED = "quarantined"
+    #: Re-admitted under observation after quarantine or a churn rejoin:
+    #: holds the epoch key, but one dirty epoch sends it straight back.
+    PROBATION = "probation"
+    #: Permanently expelled; terminal — an evicted node never rejoins.
+    EVICTED = "evicted"
+    #: Off the cluster through churn (never joined, or departed).
+    ABSENT = "absent"
+
+    @property
+    def member(self) -> bool:
+        """Whether this verdict receives the epoch key."""
+        return self in _MEMBER_VERDICTS
+
+    @property
+    def scored(self) -> bool:
+        """Whether the engine still samples evidence for this verdict."""
+        return self not in (MembershipVerdict.EVICTED, MembershipVerdict.ABSENT)
+
+
+_MEMBER_VERDICTS = frozenset(
+    {
+        MembershipVerdict.ACTIVE,
+        MembershipVerdict.SUSPECT,
+        MembershipVerdict.PROBATION,
+    }
+)
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One verdict flip, as recorded in the engine's event log."""
+
+    time_ns: int
+    epoch: int
+    node: str
+    previous: MembershipVerdict
+    verdict: MembershipVerdict
+    #: Peak divergence that drove the flip (None for churn transitions).
+    score_ns: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "time_ns": self.time_ns,
+            "epoch": self.epoch,
+            "node": self.node,
+            "previous": self.previous.value,
+            "verdict": self.verdict.value,
+            "score_ns": self.score_ns,
+        }

@@ -84,6 +84,11 @@ class Network:
         self._sockets: dict[Address, Socket] = {}
         self._link_delays: dict[tuple[str, str], DelayModel] = {}
         self._adversaries: list[NetworkAdversary] = []
+        #: Hosts currently detached from the fabric (cluster churn). A
+        #: down host's datagrams are dropped at send time and anything
+        #: addressed to it is dropped at delivery time, so messages
+        #: in flight when the host leaves are lost too.
+        self._down_hosts: set[str] = set()
         self._rng = sim.rng.stream("network")
         #: All datagrams ever sent (kept for analysis; sizes stay modest in
         #: the paper's experiments — a handful of messages per AEX).
@@ -108,6 +113,22 @@ class Network:
         """Register an on-path adversary, consulted for every datagram."""
         self._adversaries.append(adversary)
 
+    def set_host_down(self, host: str, down: bool = True) -> None:
+        """Detach (or re-attach) a host from the network fabric.
+
+        Models cluster churn: a departed node's socket stays bound (its
+        processes keep running and may queue sends), but no traffic
+        crosses the fabric in either direction while the host is down.
+        """
+        if down:
+            self._down_hosts.add(host)
+        else:
+            self._down_hosts.discard(host)
+
+    def host_is_down(self, host: str) -> bool:
+        """Whether ``host`` is currently detached."""
+        return host in self._down_hosts
+
     # -- data plane ----------------------------------------------------------
 
     def send(self, source: Address, destination: Address, payload: bytes) -> Datagram:
@@ -119,6 +140,12 @@ class Network:
             sent_at_ns=self.sim.now,
         )
         self.log.append(datagram)
+
+        if self._down_hosts and (
+            source.host in self._down_hosts or destination.host in self._down_hosts
+        ):
+            self.dropped.append(datagram)
+            return datagram
 
         delay_model = self._link_delays.get(
             (source.host, destination.host), self.default_delay
@@ -142,6 +169,10 @@ class Network:
 
     def _on_delivery(self, event: Event) -> None:
         datagram: Datagram = event.value
+        if self._down_hosts and datagram.destination.host in self._down_hosts:
+            # The destination left while this datagram was in flight.
+            self.dropped.append(datagram)
+            return
         socket = self._sockets.get(datagram.destination)
         if socket is None:
             # Destination not bound: UDP silently discards. Record it so

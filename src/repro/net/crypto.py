@@ -61,6 +61,21 @@ def derive_key(*labels: str) -> bytes:
     return hashlib.sha256(b"repro-triad-key-v1:" + material).digest()
 
 
+def derive_epoch_secret(epoch: int, *labels: str) -> bytes:
+    """Per-epoch group secret distributed by a membership controller.
+
+    The secret itself never travels on the simulated wire: the controller
+    hands it to every *member* endpoint, which folds it into each link key
+    (:meth:`SecureChannelKey.rekey`). A node the controller withholds the
+    secret from keeps sealing with its previous epoch key, and every
+    member rejects those blobs at :meth:`SecureChannelKey.open` — the
+    cryptographic cut that makes quarantine enforceable.
+    """
+    if epoch < 0:
+        raise CryptoError(f"epoch must be non-negative, got {epoch}")
+    return derive_key("membership-epoch", str(epoch), *labels)
+
+
 def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
     """SHA-256-CTR keystream of ``length`` bytes."""
     blocks = []
@@ -85,13 +100,39 @@ class SecureChannelKey:
     def __init__(self, key: bytes) -> None:
         if len(key) != KEY_BYTES:
             raise CryptoError(f"key must be {KEY_BYTES} bytes, got {len(key)}")
+        #: The attestation-time base key; epoch rotation always derives
+        #: from this, never from the previous epoch key, so a node that
+        #: missed epochs re-keys to the current one in a single step.
+        self._base_key = key
         self._key = key
         self._nonce_counter = 0
+        self.epoch = 0
 
     @classmethod
     def between(cls, party_a: str, party_b: str) -> "SecureChannelKey":
         """Key shared by two named parties (order-independent)."""
         return cls(derive_key(*sorted((party_a, party_b))))
+
+    def rekey(self, epoch_secret: bytes, epoch: int) -> None:
+        """Rotate to the key for ``epoch``, derived from the base key.
+
+        Both ends of a link hold the same base key, so feeding them the
+        same epoch secret yields interoperating keys without any wire
+        exchange. Blobs sealed under any other epoch's key fail the tag
+        check in :meth:`open` — "old-epoch messages rejected" is a
+        consequence of the AEAD, not an extra code path. Epoch 0 restores
+        the base key exactly (useful for tests and symmetry).
+        """
+        if epoch < 0:
+            raise CryptoError(f"epoch must be non-negative, got {epoch}")
+        if epoch == 0:
+            self._key = self._base_key
+        else:
+            self._key = hmac.new(
+                epoch_secret, b"rekey:" + self._base_key, hashlib.sha256
+            ).digest()
+        self._nonce_counter = 0
+        self.epoch = epoch
 
     def _next_nonce(self) -> bytes:
         nonce = self._nonce_counter.to_bytes(NONCE_BYTES, "little")

@@ -84,6 +84,26 @@ class SecureEndpoint:
         """Names of all registered peers."""
         return list(self._peers)
 
+    def rekey_peer(self, name: str, epoch_secret: bytes, epoch: int) -> None:
+        """Rotate the link key shared with ``name`` to ``epoch``.
+
+        Called by the membership controller when it distributes a fresh
+        epoch secret. Only this endpoint's view of the link changes; the
+        peer interoperates again once (and only once) it receives the same
+        secret — which is exactly how a quarantined node is cut off.
+        """
+        link = self._peers.get(name)
+        if link is None:
+            raise ConfigurationError(f"{self.name!r} has no peer named {name!r}")
+        link.key.rekey(epoch_secret, epoch)
+
+    def peer_epoch(self, name: str) -> int:
+        """Key epoch currently installed for ``name`` (0 = base key)."""
+        link = self._peers.get(name)
+        if link is None:
+            raise ConfigurationError(f"{self.name!r} has no peer named {name!r}")
+        return link.key.epoch
+
     # -- sending ------------------------------------------------------------------
 
     def send(self, peer_name: str, message: Any) -> None:

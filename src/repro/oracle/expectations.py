@@ -67,6 +67,18 @@ EXPECTED_VIOLATIONS: dict[str, frozenset[tuple[str, str]]] = {
     "service-fminus": _VICTIM,
     "service-fminus-propagation": _CASCADE,
     "service-ta-blackhole": frozenset({(ANY_NODE, "freshness")}),
+    # Membership-plane scenarios (repro.membership / CLI `membership`).
+    # Benign and churn runs must stay silent; attack runs start from the
+    # underlying attack's allowance. At runtime the membership engine
+    # *narrows* what actually fires: quarantining a node downgrades that
+    # node's violations to expected in the live set (the cut node's
+    # out-of-bound clock is the containment working), while contained
+    # honest nodes simply never trip the oracle.
+    "membership-benign": frozenset(),
+    "membership-churn": frozenset(),
+    "membership-fplus": _VICTIM,
+    "membership-fminus-propagation": _CASCADE,
+    "membership-ta-blackhole": frozenset({(ANY_NODE, "freshness")}),
 }
 
 #: Task-name prefix -> expected pairs, for fleet tasks that are not

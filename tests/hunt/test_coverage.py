@@ -6,6 +6,7 @@ from repro.core.probes import ProbeEvent
 from repro.core.states import NodeState
 from repro.hunt.coverage import (
     NO_TAINT,
+    NO_VERDICT,
     PRE_STATE,
     CoverageCollector,
     coverage_signature,
@@ -27,33 +28,47 @@ class TestCollector:
     def test_state_probe_creates_a_tuple(self):
         collector = CoverageCollector()
         collector(_event("state", state=NodeState.OK))
-        assert collector.tuples == {(NodeState.OK.value, NO_TAINT, "pre-calib")}
+        assert collector.tuples == {
+            (NodeState.OK.value, NO_TAINT, "pre-calib", NO_VERDICT)
+        }
 
     def test_taint_cause_is_tracked_per_node(self):
         collector = CoverageCollector()
         collector(_event("taint", cause="os"))
         collector(_event("state", state=NodeState.TAINTED))
         collector(_event("state", node="node-2", state=NodeState.OK))
-        assert (NodeState.TAINTED.value, "os", "pre-calib") in collector.tuples
-        assert (NodeState.OK.value, NO_TAINT, "pre-calib") in collector.tuples
+        assert (NodeState.TAINTED.value, "os", "pre-calib", NO_VERDICT) in collector.tuples
+        assert (NodeState.OK.value, NO_TAINT, "pre-calib", NO_VERDICT) in collector.tuples
 
     def test_untaint_replaces_cause_with_source_class(self):
         collector = CoverageCollector()
         collector(_event("taint", cause="os"))
         collector(_event("untaint", outcome=_Outcome(source="peer:node-2")))
         collector(_event("state", state=NodeState.OK))
-        assert (NodeState.OK.value, "untaint:peer", "pre-calib") in collector.tuples
+        assert (NodeState.OK.value, "untaint:peer", "pre-calib", NO_VERDICT) in collector.tuples
         # node-3 recovery via the same class is nothing new:
         collector(_event("untaint", node="node-2", outcome=_Outcome(source="peer:node-3")))
         collector(_event("state", node="node-2", state=NodeState.OK))
-        assert (NodeState.OK.value, "untaint:peer", "pre-calib") in collector.tuples
+        assert (NodeState.OK.value, "untaint:peer", "pre-calib", NO_VERDICT) in collector.tuples
 
     def test_calibration_phase_saturates_at_recalibrated(self):
         collector = CoverageCollector()
         collector(_event("state", state=NodeState.FULL_CALIB))
         for expected in ("calibrated", "recalibrated", "recalibrated"):
             collector(_event("calibration", frequency_hz=2.9e9))
-            assert any(phase == expected for _, _, phase in collector.tuples)
+            assert any(phase == expected for _, _, phase, _ in collector.tuples)
+
+    def test_membership_verdict_is_a_coverage_plane(self):
+        collector = CoverageCollector()
+        collector(_event("state", state=NodeState.OK))
+        collector(_event("membership", verdict="quarantined", previous="suspect"))
+        assert (NodeState.OK.value, NO_TAINT, "pre-calib", "quarantined") in collector.tuples
+        # The verdict sticks to subsequent probes of the same node...
+        collector(_event("taint", cause="os"))
+        assert (NodeState.OK.value, "os", "pre-calib", "quarantined") in collector.tuples
+        # ...and is tracked per node.
+        collector(_event("state", node="node-2", state=NodeState.OK))
+        assert (NodeState.OK.value, NO_TAINT, "pre-calib", NO_VERDICT) in collector.tuples
 
     def test_serve_probes_are_ignored(self):
         collector = CoverageCollector()
@@ -71,13 +86,21 @@ class TestCollector:
 
 class TestSignature:
     def test_order_independent(self):
-        a = {("OK", "none", "pre-calib"), ("Tainted", "os", "calibrated")}
+        a = {
+            ("OK", "none", "pre-calib", "member"),
+            ("Tainted", "os", "calibrated", "member"),
+        }
         assert coverage_signature(a) == coverage_signature(set(reversed(sorted(a))))
 
     def test_distinct_sets_get_distinct_signatures(self):
-        assert coverage_signature({("OK", "none", "pre-calib")}) != coverage_signature(
-            {("OK", "os", "pre-calib")}
-        )
+        assert coverage_signature(
+            {("OK", "none", "pre-calib", "member")}
+        ) != coverage_signature({("OK", "os", "pre-calib", "member")})
+
+    def test_verdict_plane_distinguishes_signatures(self):
+        assert coverage_signature(
+            {("OK", "none", "calibrated", "member")}
+        ) != coverage_signature({("OK", "none", "calibrated", "quarantined")})
 
 
 class TestLiveRun:
@@ -94,10 +117,86 @@ class TestLiveRun:
         assert coverage  # a run always visits at least one protocol state
         states = {NodeState.OK.value, NodeState.TAINTED.value,
                   NodeState.FULL_CALIB.value, NodeState.REF_CALIB.value, PRE_STATE}
-        for state, cause, phase in coverage:
+        for state, cause, phase, verdict in coverage:
             assert state in states
             assert phase in ("pre-calib", "calibrated", "recalibrated")
             assert isinstance(cause, str) and cause
+            # No membership engine attached: the verdict plane stays flat.
+            assert verdict == NO_VERDICT
         # The flood actually tainted someone after calibration.
         assert any(state == NodeState.TAINTED.value and phase != "pre-calib"
-                   for state, _, phase in coverage)
+                   for state, _, phase, _ in coverage)
+
+    def test_membership_run_reaches_non_member_verdicts(self):
+        # An F− calibration delay skews node 1's initial calibration, so
+        # its served time diverges past the quarantine thresholds; with the
+        # engine attached the coverage set must visit non-member verdicts.
+        genome = [
+            {
+                "t_ns": 0,
+                "primitive": "net-delay",
+                "params": {
+                    "victim": 1,
+                    "mode": "fminus",
+                    "delay_ms": 100,
+                    "duration_ms": 8_000,
+                },
+            }
+        ]
+        value = evaluate_genome(
+            genome, seed=7, duration_s=15.0, nodes=3, membership="observe"
+        )
+        coverage = tuples_from_lists(value["coverage"])
+        verdicts = {verdict for _, _, _, verdict in coverage}
+        assert NO_VERDICT in verdicts
+        assert verdicts - {NO_VERDICT}, f"only member verdicts seen: {sorted(verdicts)}"
+
+
+class TestQuarantineEvasion:
+    """Pinned finding: coherent slow drift is invisible to the median score.
+
+    A small F− calibration delay (5 ms) skews the victim's frequency only
+    slightly; the max-rule untaint then walks every honest node along with
+    it. The whole cluster drifts *together*, so each node's divergence
+    from the member median stays inside the clear threshold while every
+    clock's absolute error grows without bound — the structural blind spot
+    of any peer-relative detector (see docs/membership.md). The hunt found
+    this seed via the verdict coverage plane; pinned so it stays true.
+    """
+
+    GENOME = [
+        {
+            "t_ns": 0,
+            "primitive": "net-delay",
+            "params": {
+                "victim": 1,
+                "mode": "fminus",
+                "delay_ms": 5,
+                "duration_ms": 8_000,
+            },
+        }
+    ]
+
+    def test_cluster_skews_while_membership_sees_nothing(self):
+        value = evaluate_genome(
+            self.GENOME, seed=7, duration_s=30.0, nodes=3, membership="observe"
+        )
+        report = value["membership"]
+        # The engine closed epochs but never flipped a verdict...
+        assert report["epochs_closed"] >= 25
+        assert report["events"] == []
+        assert set(report["verdict_counts"]) == {"active"}
+        # ...because every node stayed inside the clear threshold vs the
+        # member median (10 ms)...
+        assert all(peak < 10_000_000 for peak in report["peak_divergence_ns"].values())
+        # ...and the cluster's coherent ~120 ms skew also stays inside the
+        # oracle's 500 ms drift bound — no layer of the stack flags it.
+        drift_records = [
+            v
+            for v in value.get("violations", [])
+            if v.get("invariant") == "drift-bound"
+        ]
+        assert not drift_records
+        coverage = tuples_from_lists(value["coverage"])
+        verdicts = {verdict for _, _, _, verdict in coverage}
+        assert verdicts == {NO_VERDICT}

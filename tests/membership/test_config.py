@@ -1,0 +1,44 @@
+"""Validation tests for the ``membership`` config block."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.membership import MembershipConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = MembershipConfig()
+        assert config.samples_per_epoch == 4
+        assert config.suspect_threshold_ns == 25_000_000
+        assert config.clear_threshold_ns == 10_000_000
+
+    def test_epoch_must_be_a_multiple_of_the_probe_interval(self):
+        with pytest.raises(ConfigurationError, match="membership"):
+            MembershipConfig(epoch_s=1.0, probe_interval_ms=300.0)
+
+    def test_suspect_threshold_must_exceed_clear_threshold(self):
+        with pytest.raises(ConfigurationError, match="membership"):
+            MembershipConfig(suspect_threshold_ms=10.0, clear_threshold_ms=10.0)
+
+    def test_thresholds_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="membership"):
+            MembershipConfig(suspect_threshold_ms=5.0, clear_threshold_ms=0.0)
+
+    def test_evict_must_outlast_probation(self):
+        with pytest.raises(ConfigurationError, match="membership"):
+            MembershipConfig(probation_after=3, evict_after=3)
+
+    def test_min_observers_floor(self):
+        with pytest.raises(ConfigurationError, match="membership"):
+            MembershipConfig(min_observers=1)
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_round_trips(self):
+        config = MembershipConfig(epoch_s=2.0, probe_interval_ms=500.0, evict_after=8)
+        assert MembershipConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            MembershipConfig.from_dict({"epoch_s": 1.0, "quorum": 3})

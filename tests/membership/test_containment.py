@@ -1,0 +1,102 @@
+"""Pinned headline: quarantine contains F− before honest nodes go out of bound.
+
+The fig-6 propagation scenario with the honest AEX onset pulled forward to
+t = 3 s is the worst case for the control plane: the attacker's skew starts
+propagating through max-rule adoption within epochs of detection. In
+``enforce`` mode the engine must win that race — quarantine node 3 and
+cryptographically cut it off before a majority of honest nodes is dragged
+past the oracle's 500 ms drift bound. The ``observe`` contrast run shows
+what losing looks like: the same schedule drags every honest node out of
+bound within seconds of the onset.
+"""
+
+import pytest
+
+from repro.experiments.scenarios import fault_free_triad_like, fminus_propagation
+from repro.membership import (
+    MembershipVerdict,
+    drain_created_controllers,
+    membership_policy,
+)
+from repro.sim.units import MILLISECOND, SECOND
+
+DRIFT_BOUND_NS = 500 * MILLISECOND
+
+
+@pytest.fixture(autouse=True)
+def _clean_policy_controllers():
+    yield
+    drain_created_controllers()
+
+
+def _propagation(mode: str, duration_s: int):
+    with membership_policy(mode):
+        drain_created_controllers()
+        experiment = fminus_propagation(seed=6, switch_at_ns=3 * SECOND)
+        experiment.run(duration_s * SECOND)
+    return experiment
+
+
+class TestEnforceContainment:
+    def test_attacker_is_quarantined_then_evicted(self):
+        experiment = _propagation("enforce", 40)
+        report = experiment.membership.report()
+        quarantines = [
+            event
+            for event in report["events"]
+            if event["node"] == "node-3" and event["verdict"] == "quarantined"
+        ]
+        assert quarantines, f"node-3 never quarantined: {report['events']}"
+        # Containment must land within the first 8 epochs (8 s) — well
+        # before the ~12 s point where observe mode loses the cluster.
+        assert quarantines[0]["epoch"] <= 8
+        assert report["verdicts"]["node-3"] == "evicted"
+
+    def test_honest_majority_stays_in_bound(self):
+        experiment = _propagation("enforce", 40)
+        for index in (1, 2):
+            drift = experiment.drift(index).max_abs_drift_ns()
+            assert drift < DRIFT_BOUND_NS, (
+                f"node-{index} dragged out of bound: {drift / 1e6:.1f} ms"
+            )
+
+    def test_epoch_keys_actually_rotated(self):
+        experiment = _propagation("enforce", 40)
+        report = experiment.membership.report()
+        assert report["mode"] == "enforce"
+        assert report["rotations"] >= 1
+        # The quarantined node's links are on an older epoch than the
+        # honest nodes', which is exactly what cuts it off.
+        honest = experiment.node(1)
+        assert honest.endpoint.peer_epoch("node-2") >= 1
+
+
+class TestObserveContrast:
+    def test_without_enforcement_the_cascade_wins(self):
+        experiment = _propagation("observe", 40)
+        report = experiment.membership.report()
+        # Detection still fires (the verdict ladder runs)...
+        assert any(
+            event["node"] == "node-3" and event["verdict"] == "quarantined"
+            for event in report["events"]
+        )
+        assert report["rotations"] == 0
+        # ...but without the key cut, every honest node is dragged out of
+        # the oracle's drift bound by the max-rule cascade.
+        for index in (1, 2):
+            assert experiment.drift(index).max_abs_drift_ns() > DRIFT_BOUND_NS
+
+
+class TestFalsePositives:
+    @pytest.mark.parametrize("seed", [2, 3, 4])
+    def test_fault_free_runs_flip_no_verdicts(self, seed):
+        with membership_policy("observe"):
+            drain_created_controllers()
+            experiment = fault_free_triad_like(seed=seed)
+            experiment.run(12 * SECOND)
+        report = experiment.membership.report()
+        assert report["events"] == []
+        assert all(
+            verdict == MembershipVerdict.ACTIVE.value
+            for verdict in report["verdicts"].values()
+        )

@@ -1,0 +1,68 @@
+"""Tests for divergence scoring against the member median."""
+
+from repro.membership import EvidenceCollector, member_median
+
+
+class TestMemberMedian:
+    def test_odd_count_takes_the_lower_middle(self):
+        assert member_median([30, 10, 20]) == 20
+
+    def test_even_count_averages_the_middles(self):
+        assert member_median([40, 10, 20, 30]) == 25
+
+    def test_single_reading_is_its_own_median(self):
+        assert member_median([7]) == 7
+
+    def test_majority_anchors_against_one_outlier(self):
+        # Three honest clocks near 1000 and one racing clock: the median
+        # stays with the honest majority, so the outlier scores big and
+        # the honest nodes score small.
+        readings = [1000, 1002, 998, 5000]
+        assert member_median(readings) == 1001
+
+
+class TestCollector:
+    def test_sample_below_min_observers_is_skipped(self):
+        collector = EvidenceCollector(min_observers=3)
+        scored = collector.observe({"a": 1, "b": 2}, member_names={"a", "b"})
+        assert not scored
+        evidence = collector.close_epoch(1)
+        assert evidence.scored_samples == 0
+        assert evidence.skipped_samples == 1
+        assert evidence.scores_ns == {}
+
+    def test_non_members_are_scored_but_do_not_vote(self):
+        collector = EvidenceCollector(min_observers=3)
+        # "d" is quarantined: observed, but excluded from the median.
+        readings = {"a": 1000, "b": 1010, "c": 1020, "d": 9000}
+        assert collector.observe(readings, member_names={"a", "b", "c"})
+        evidence = collector.close_epoch(1)
+        assert evidence.scores_ns["d"] == 9000 - 1010
+        assert evidence.scores_ns["b"] == 0
+        # If "d" had voted the median would have shifted; it must not.
+        assert evidence.scores_ns["a"] == 10
+
+    def test_epoch_keeps_the_peak_not_the_mean(self):
+        collector = EvidenceCollector(min_observers=2)
+        collector.observe({"a": 100, "b": 100}, member_names={"a", "b"})
+        collector.observe({"a": 100, "b": 160}, member_names={"a", "b"})
+        collector.observe({"a": 100, "b": 104}, member_names={"a", "b"})
+        evidence = collector.close_epoch(1)
+        # median of (100, 160) is 130; peak |160-130| = 30.
+        assert evidence.scores_ns["b"] == 30
+
+    def test_close_epoch_resets_per_epoch_state_but_keeps_alltime_peaks(self):
+        collector = EvidenceCollector(min_observers=2)
+        collector.observe({"a": 0, "b": 100}, member_names={"a", "b"})
+        first = collector.close_epoch(1)
+        assert first.scores_ns["a"] == 50
+        collector.observe({"a": 10, "b": 10}, member_names={"a", "b"})
+        second = collector.close_epoch(2)
+        assert second.scores_ns["a"] == 0
+        assert collector.peak_ns["a"] == 50  # survives the close
+
+    def test_node_without_reading_is_absent_from_scores(self):
+        collector = EvidenceCollector(min_observers=2)
+        collector.observe({"a": 1, "b": 1}, member_names={"a", "b"})
+        evidence = collector.close_epoch(1)
+        assert "c" not in evidence.scores_ns

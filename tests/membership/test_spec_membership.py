@@ -1,0 +1,127 @@
+"""Spec-level membership/churn blocks and the fleet ``membership`` runner."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, FleetError
+from repro.experiments.spec import ExperimentSpec
+from repro.fleet.tasks import RunTask, execute_task
+
+
+def _spec_dict(**overrides):
+    base = {
+        "name": "membership-unit",
+        "seed": 6,
+        "duration_s": 5.0,
+        "nodes": 3,
+        "environments": {"1": "triad-like", "2": "triad-like", "3": "triad-like"},
+        "membership": {"mode": "observe", "epoch_s": 1.0},
+    }
+    base.update(overrides)
+    return base
+
+
+class TestMembershipBlock:
+    def test_valid_block_round_trips_through_json(self):
+        spec = ExperimentSpec.from_dict(_spec_dict())
+        again = ExperimentSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.to_json() == spec.to_json()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="membership.mode"):
+            ExperimentSpec.from_dict(_spec_dict(membership={"mode": "audit"}))
+
+    def test_config_keys_are_validated(self):
+        with pytest.raises(ConfigurationError, match="membership"):
+            ExperimentSpec.from_dict(
+                _spec_dict(membership={"mode": "observe", "quorum": 3})
+            )
+
+    def test_block_must_be_an_object(self):
+        with pytest.raises(ConfigurationError, match="membership"):
+            ExperimentSpec.from_dict(_spec_dict(membership="enforce"))
+
+    def test_run_attaches_the_engine(self):
+        spec = ExperimentSpec.from_dict(_spec_dict(duration_s=3.0))
+        experiment = spec.run()
+        assert experiment.membership is not None
+        assert experiment.membership.mode == "observe"
+        assert experiment.membership.report()["epochs_closed"] >= 2
+
+
+class TestChurnBlock:
+    def test_schedule_round_trips(self):
+        churn = {
+            "absent": [3],
+            "schedule": [
+                {"t_s": 1.0, "node": 3, "action": "join"},
+                {"t_s": 2.0, "node": 2, "action": "leave"},
+                {"t_s": 4.0, "node": 2, "action": "join"},
+            ],
+        }
+        spec = ExperimentSpec.from_dict(_spec_dict(churn=churn))
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="churn"):
+            ExperimentSpec.from_dict(_spec_dict(churn={"nodes": [1]}))
+
+    def test_leave_of_absent_node_rejected(self):
+        churn = {"absent": [3], "schedule": [{"t_s": 1.0, "node": 3, "action": "leave"}]}
+        with pytest.raises(ConfigurationError, match="already absent"):
+            ExperimentSpec.from_dict(_spec_dict(churn=churn))
+
+    def test_join_of_present_node_rejected(self):
+        churn = {"schedule": [{"t_s": 1.0, "node": 2, "action": "join"}]}
+        with pytest.raises(ConfigurationError, match="already present"):
+            ExperimentSpec.from_dict(_spec_dict(churn=churn))
+
+    def test_everyone_absent_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one node"):
+            ExperimentSpec.from_dict(_spec_dict(churn={"absent": [1, 2, 3]}))
+
+    def test_out_of_range_node_rejected(self):
+        churn = {"schedule": [{"t_s": 1.0, "node": 9, "action": "leave"}]}
+        with pytest.raises(ConfigurationError, match="outside cluster"):
+            ExperimentSpec.from_dict(_spec_dict(churn=churn))
+
+    def test_churn_is_reflected_in_the_report(self):
+        churn = {
+            "absent": [3],
+            "schedule": [
+                {"t_s": 1.0, "node": 3, "action": "join"},
+                {"t_s": 2.0, "node": 2, "action": "leave"},
+            ],
+        }
+        spec = ExperimentSpec.from_dict(_spec_dict(duration_s=4.0, churn=churn))
+        experiment = spec.run()
+        report = experiment.membership.report()
+        actions = [entry["action"] for entry in report["churn"]]
+        assert actions.count("join") == 1
+        assert actions.count("leave") == 1
+        assert report["verdicts"]["node-2"] == "absent"
+
+
+class TestFleetRunner:
+    def test_membership_task_reports_verdicts_and_drift(self):
+        task = RunTask(
+            name="membership-unit",
+            kind="membership",
+            payload={"spec": _spec_dict(duration_s=3.0)},
+        )
+        value = execute_task(task)
+        assert value["spec"] == "membership-unit"
+        assert set(value["report"]["verdicts"]) == {"node-1", "node-2", "node-3"}
+        assert set(value["final_drift_ns"]) == {"node-1", "node-2", "node-3"}
+        assert "mode=observe" in value["rendered"]
+        # The whole result is JSON-plain for fleet caching.
+        assert json.loads(json.dumps(value)) == value
+
+    def test_spec_without_membership_block_is_a_fleet_error(self):
+        spec = _spec_dict(duration_s=3.0)
+        del spec["membership"]
+        task = RunTask(name="bad", kind="membership", payload={"spec": spec})
+        with pytest.raises(FleetError, match="membership"):
+            execute_task(task)
