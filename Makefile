@@ -1,6 +1,6 @@
 # Convenience targets for the Triad reproduction.
 
-.PHONY: install test lint bench bench-kernel bench-membership reproduce figures sweeps hunt-smoke service-smoke membership-smoke clean
+.PHONY: install test lint bench bench-kernel bench-membership bench-faults reproduce figures sweeps hunt-smoke service-smoke membership-smoke faults-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -33,6 +33,12 @@ bench-kernel:
 bench-membership:
 	pytest benchmarks/test_bench_membership.py
 	python benchmarks/record.py membership
+
+# Fault plane at cluster scale (10-node crash wave through a TA outage
+# and a partition), then append a point to benchmarks/BENCH_faults.json.
+bench-faults:
+	pytest benchmarks/test_bench_faults.py
+	python benchmarks/record.py faults
 
 reproduce:
 	python examples/reproduce_paper.py
@@ -82,6 +88,19 @@ membership-smoke:
 	python -m repro membership --attack benign --duration-s 15 --no-cache \
 		--oracle strict
 	@echo "membership-smoke: churn deterministic, containment strict-clean"
+
+# Fault plane, pinned seeds: the crash-restart headline and the TA flap
+# pass the strict oracle (recovery invariant armed), and the mixed
+# crash + outage + partition report is byte-identical across --jobs 1/2.
+faults-smoke:
+	python -m repro faults --scenario crash-restart --no-cache --oracle strict
+	python -m repro faults --scenario ta-flap --no-cache --oracle strict
+	python -m repro faults --scenario crash-outage-partition --no-cache \
+		--json out/faults-smoke/mixed-j1.json
+	python -m repro faults --scenario crash-outage-partition --no-cache \
+		--jobs 2 --json out/faults-smoke/mixed-j2.json
+	cmp out/faults-smoke/mixed-j1.json out/faults-smoke/mixed-j2.json
+	@echo "faults-smoke: recovery strict-clean, reports byte-identical across --jobs 1/2"
 
 figures:
 	python -m repro run fig2 --export out/fig2

@@ -179,12 +179,66 @@ def _measure_membership() -> dict:
     }
 
 
+def _measure_faults() -> dict:
+    """EXT-FAULTS: the mixed crash + TA-outage + partition timeline, 40 sim-s."""
+    from repro.experiments.spec import ExperimentSpec
+    from repro.faults import FaultPlan, recovery_report
+
+    duration_s = 40.0
+    spec = ExperimentSpec.from_dict(
+        {
+            "name": "bench-faults",
+            "seed": 13,
+            "duration_s": duration_s,
+            "nodes": 3,
+            "environments": {
+                "1": "triad-like", "2": "triad-like", "3": "triad-like"
+            },
+            "faults": {
+                "schedule": [
+                    {"t_s": 12.0, "kind": "node-crash", "node": 2, "down_ms": 800},
+                    {"t_s": 14.0, "kind": "ta-outage", "duration_ms": 3000},
+                    {
+                        "t_s": 20.0,
+                        "kind": "partition",
+                        "island": [3],
+                        "duration_ms": 2000,
+                    },
+                ],
+                "recovery_deadline_s": 15.0,
+                "retry": {
+                    "backoff_factor": 2.0,
+                    "jitter": 0.1,
+                    "backoff_s": 0.5,
+                    "max_backoff_s": 4.0,
+                    "calibration_backoff_ms": 200,
+                },
+            },
+        }
+    )
+    started = time.perf_counter()
+    experiment = spec.run()
+    wall = time.perf_counter() - started
+    plan = FaultPlan.from_spec(
+        spec.faults, nodes=spec.nodes, ta_count=spec.ta_count, duration_s=duration_s
+    )
+    report = recovery_report(experiment, plan)
+    return {
+        "fault_events": len(report["faults"]) // 2,
+        "recovered_all": report["recovered_all"],
+        "mttr_max_ms": report["mttr_max_ms"],
+        "network_drops": report["network"]["dropped_count"],
+        "sim_s_per_wall_s": round(duration_s / wall, 1),
+    }
+
+
 MEASURES = {
     "kernel": _measure_kernel,
     "fleet": _measure_fleet,
     "hunt": _measure_hunt,
     "service": _measure_service,
     "membership": _measure_membership,
+    "faults": _measure_faults,
 }
 
 

@@ -34,6 +34,8 @@ class TaStats:
 
     requests_received: int = 0
     responses_sent: int = 0
+    #: Requests silently discarded while the TA was down (fault outages).
+    requests_dropped_down: int = 0
     #: (time_ns, requester, sleep_ns) per request, in arrival order.
     request_log: list[tuple[int, str, int]] = field(default_factory=list)
 
@@ -57,7 +59,15 @@ class TimeAuthority:
         self.clock_offset_ns = clock_offset_ns
         self.max_sleep_ns = max_sleep_ns
         self.stats = TaStats()
+        #: While True the TA drops requests on the floor (fault outage /
+        #: flapping). Clients see exactly what a dead server looks like:
+        #: silence, then their own timeout.
+        self.down = False
         self.process = sim.process(self._serve(), name=f"time-authority/{endpoint.name}")
+
+    def set_down(self, down: bool = True) -> None:
+        """Take the TA offline (or bring it back). Injection hook for faults."""
+        self.down = down
 
     @property
     def name(self) -> str:
@@ -73,6 +83,9 @@ class TimeAuthority:
     def _serve(self):
         while True:
             envelope = yield self.endpoint.recv()
+            if self.down:
+                self.stats.requests_dropped_down += 1
+                continue
             self.sim.process(
                 self._handle(envelope), name=f"ta-handler/{envelope.sender}"
             )

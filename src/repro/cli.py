@@ -247,6 +247,48 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_fleet_arguments(membership)
 
+    faults = sub.add_parser(
+        "faults",
+        help="run a deterministic fault-injection scenario and report recovery/MTTR",
+    )
+    faults.add_argument(
+        "--scenario",
+        choices=("crash-restart", "ta-flap", "crash-outage-partition", "no-retry"),
+        default="crash-restart",
+        help=(
+            "fault scenario (default crash-restart); 'crash-outage-partition' "
+            "is the mixed robustness headline, 'no-retry' is the bounded-retry "
+            "baseline that parks dark and fails the recovery invariant"
+        ),
+    )
+    faults.add_argument("--nodes", type=int, default=3, help="cluster size (default 3)")
+    faults.add_argument("--seed", type=int, default=13, help="experiment seed")
+    faults.add_argument(
+        "--duration-s", type=float, default=60.0, help="simulated run length (seconds)"
+    )
+    faults.add_argument(
+        "--deadline-s",
+        type=float,
+        default=15.0,
+        help="recovery deadline after the last fault heals (seconds, default 15)",
+    )
+    faults.add_argument(
+        "--sessions",
+        type=int,
+        default=0,
+        help="client sessions for a quorum service riding the faults (0 = no service)",
+    )
+    faults.add_argument(
+        "--quorum", type=int, default=3, help="service quorum fan-out (with --sessions)"
+    )
+    faults.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write the recovery/MTTR report (plus service SLOs) as JSON to FILE",
+    )
+    _add_fleet_arguments(faults)
+
     hunt = sub.add_parser("hunt", help="coverage-guided search for attack schedules")
     hunt.add_argument("--seed", type=int, default=7, help="search seed (default 7)")
     hunt.add_argument(
@@ -770,6 +812,115 @@ def _run_membership_command(args) -> int:
     return 0
 
 
+def _faults_spec_dict(args) -> dict:
+    """Compile the ``faults`` subcommand flags into a spec dict."""
+    nodes = args.nodes
+    crash_victim = min(2, nodes)
+    isolated = min(3, nodes)
+    # Exponential backoff with jitter is the recovery policy under test;
+    # the 'no-retry' baseline replaces it with a 2-attempt budget, parks
+    # dark, and demonstrably fails the recovery invariant.
+    retry: dict = {
+        "backoff_factor": 2.0,
+        "jitter": 0.1,
+        "backoff_s": 0.5,
+        "max_backoff_s": 4.0,
+        "calibration_backoff_ms": 200,
+    }
+    if args.scenario == "crash-restart":
+        schedule = [
+            {"t_s": 12.0, "kind": "node-crash", "node": crash_victim, "down_ms": 800}
+        ]
+    elif args.scenario == "ta-flap":
+        schedule = [
+            {"t_s": t_s, "kind": "ta-outage", "duration_ms": 1500}
+            for t_s in (12.0, 16.0, 20.0)
+        ]
+    else:  # crash-outage-partition / no-retry: the mixed headline timeline
+        schedule = [
+            {"t_s": 12.0, "kind": "node-crash", "node": crash_victim, "down_ms": 800},
+            {"t_s": 14.0, "kind": "ta-outage", "duration_ms": 3000},
+            {"t_s": 20.0, "kind": "partition", "island": [isolated], "duration_ms": 2000},
+            {
+                "t_s": 24.0,
+                "kind": "loss-burst",
+                "drop_probability": 0.2,
+                "duration_ms": 1000,
+            },
+        ]
+        if args.scenario == "no-retry":
+            retry = {"attempt_budget": 2}
+    raw = {
+        "name": f"faults-{args.scenario}",
+        "seed": args.seed,
+        "duration_s": args.duration_s,
+        "nodes": nodes,
+        "environments": {str(i): "triad-like" for i in range(1, nodes + 1)},
+        "faults": {
+            "schedule": schedule,
+            "recovery_deadline_s": args.deadline_s,
+            "retry": retry,
+        },
+    }
+    if args.sessions > 0:
+        raw["service"] = {
+            "sessions": args.sessions,
+            "quorum": min(args.quorum, nodes),
+            "degraded_margin_factor": 3.0,
+            "breaker_threshold": 3,
+        }
+    return raw
+
+
+def _run_faults_command(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError
+    from repro.experiments.spec import ExperimentSpec
+    from repro.fleet import RunTask
+
+    invalid = _validate_fleet_flags(args)
+    if invalid is not None:
+        return invalid
+    if args.scenario in ("crash-outage-partition", "no-retry") and args.nodes < 3:
+        print(
+            f"error: --scenario {args.scenario} needs --nodes >= 3 (it crashes "
+            f"node 2 and partitions node 3), got {args.nodes}",
+            file=sys.stderr,
+        )
+        return 2
+    raw = _faults_spec_dict(args)
+    try:
+        spec = ExperimentSpec.from_dict(raw)  # fail on bad flags before any worker runs
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    task = RunTask(
+        kind="faults",
+        name=spec.name,
+        seed=spec.seed,
+        duration_ns=spec.duration_ns,
+        payload={"spec": raw},
+    )
+    _apply_oracle_override([task], args.oracle)
+    _apply_membership_override([task], args.membership)
+    pool, cache, telemetry = _fleet_pieces(args)
+    result = pool.run([task], cache=cache, telemetry=telemetry)[0]
+    if not result.ok:
+        print(f"faults run FAILED: {result.error}", file=sys.stderr)
+        return 1
+    print(result.value["rendered"])
+    _finish_fleet(args, telemetry)
+    if args.json:
+        path = Path(args.json)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result.value["report"], indent=2, sort_keys=True) + "\n")
+        print(f"wrote faults report JSON to {path}")
+    return 0
+
+
 def _run_hunt(args) -> int:
     from pathlib import Path
 
@@ -876,6 +1027,9 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     if args.command == "membership":
         return _run_membership_command(args)
+
+    if args.command == "faults":
+        return _run_faults_command(args)
 
     if args.command == "hunt":
         return _run_hunt(args)

@@ -115,6 +115,20 @@ class TrustedClock:
         self._last_served_ns = value
         return value
 
+    def reset(self) -> None:
+        """Forget all calibration state (enclave crash: full TEE state loss).
+
+        Frequency, anchor, and the last-served monotonicity floor are all
+        enclave-resident, so a crash-restart loses every one of them; the
+        clock returns to its never-calibrated, tainted boot state. The
+        rewrite log survives — it is analysis bookkeeping, not enclave
+        state.
+        """
+        self._frequency_hz = None
+        self._anchor = None
+        self._tainted = True
+        self._last_served_ns = None
+
     # -- taint lifecycle -----------------------------------------------------------
 
     def taint(self) -> None:

@@ -215,6 +215,10 @@ class TriadCluster:
             self.network.set_host_down(self.nodes[i - 1].name)
         #: Churn event journal: (time_ns, node_name, action) in event order.
         self.churn_events: list[tuple[int, str, str]] = []
+        #: Fault event journal: (time_ns, subject, action) in event order —
+        #: crash/restart per node, down/up per TA, partition/heal per
+        #: partition name (written by :mod:`repro.faults`).
+        self.fault_events: list[tuple[int, str, str]] = []
         #: Invariant oracle watching this deployment, per the process-wide
         #: policy (None unless a policy is installed). Attaching here makes
         #: coverage universal: every code path that wires a cluster — CLI
@@ -277,6 +281,60 @@ class TriadCluster:
         action = "join" if node.dormant else "rejoin"
         node.activate()
         self.churn_events.append((self.sim.now, node.name, action))
+
+    # -- fault injection -----------------------------------------------------
+
+    def crash_node(self, index: int, cause: str = "fault-injection") -> None:
+        """Crash the index-th node's enclave and take its host off the fabric.
+
+        Unlike churn :meth:`leave`, the node's threads are torn down with
+        full TEE state loss (see :meth:`TriadNode.crash`); unlike a churn
+        departure, the node stays a *member* — the membership plane keeps
+        scoring it, which is exactly the false-eviction race the
+        probation-credit logic exists for. No-op if the node is already
+        down (crashed or dormant).
+        """
+        node = self.node(index)
+        if node.message_process is None:
+            return
+        node.crash(cause)
+        self.network.set_host_down(node.name)
+        self.fault_events.append((self.sim.now, node.name, "crash"))
+
+    def restart_node(self, index: int) -> None:
+        """Cold-boot a crashed node and re-attach its host to the fabric.
+
+        The node re-enters through :meth:`TriadNode.activate` — initial
+        FullCalib from nothing. The fabric is only re-attached if the node
+        is still a member (a concurrent churn ``leave`` wins). No-op if
+        the node is already running.
+        """
+        node = self.node(index)
+        if node.message_process is not None:
+            return
+        if self._present[node.name]:
+            self.network.set_host_down(node.name, down=False)
+        node.activate()
+        self.fault_events.append((self.sim.now, node.name, "restart"))
+
+    def set_ta_down(self, down: bool = True, ta_index: int = 0) -> None:
+        """Take one TA offline (or back online); journals the transition."""
+        if not 0 <= ta_index < len(self.tas):
+            raise ConfigurationError(f"no TA {ta_index}; cluster has {len(self.tas)}")
+        ta = self.tas[ta_index]
+        ta.set_down(down)
+        self.fault_events.append((self.sim.now, ta.name, "down" if down else "up"))
+
+    def open_partition(self, name: str, island_indices: Sequence[int]) -> None:
+        """Open a named partition isolating the given 1-based node indices."""
+        hosts = [self.node(index).name for index in island_indices]
+        self.network.partition(name, hosts)
+        self.fault_events.append((self.sim.now, name, "partition"))
+
+    def heal_partition(self, name: str) -> None:
+        """Heal a named partition opened by :meth:`open_partition`."""
+        self.network.heal(name)
+        self.fault_events.append((self.sim.now, name, "heal"))
 
     def node(self, index: int) -> TriadNode:
         """The index-th node, 1-based to match the paper's numbering."""

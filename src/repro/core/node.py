@@ -35,15 +35,29 @@ from repro.hardware.machine import Machine
 from repro.hardware.monitor import IncMonitor, MonitorCalibration, PAPER_WINDOW_TICKS
 from repro.messages import PeerTimeRequest, PeerTimeResponse, TimeRequest, TimeResponse
 from repro.net.transport import SecureEndpoint
-from repro.sim.events import Event
+from repro.sim.events import Event, Interrupt
 from repro.sim.units import MILLISECOND, SECOND
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Simulator
 
+#: Interrupt cause used by :meth:`TriadNode.crash` to tear down the
+#: node's threads; each loop recognises it and returns cleanly.
+CRASH_CAUSE = "enclave-crash"
+
 
 class NodeUnavailable(ReproError):
     """The node cannot serve a timestamp right now (tainted/calibrating)."""
+
+
+class NodeParked(ReproError):
+    """A bounded-retry node exhausted its attempt budget and went dark.
+
+    Only raised when :attr:`TriadNodeConfig.ta_fetch_attempt_budget` is
+    set (the no-retry/bounded-retry baseline of the fault experiments):
+    the main loop catches it and stops, leaving the node TAINTED forever
+    — the behaviour the recovery invariant exists to flag.
+    """
 
 
 @dataclass
@@ -71,6 +85,24 @@ class TriadNodeConfig:
     ta_retry_limit: int = 5
     #: Backoff between TA fetch attempts once the retry limit is reached.
     ta_retry_backoff_ns: int = SECOND
+    #: Growth factor of the TA-fetch backoff (1.0 = the paper's fixed
+    #: backoff; >1 enables exponential backoff, the fault-recovery mode).
+    retry_backoff_factor: float = 1.0
+    #: Ceiling on one exponential backoff interval.
+    retry_backoff_max_ns: int = 8 * SECOND
+    #: Uniform jitter fraction applied to each backoff (0.0 = none, the
+    #: default — keeps legacy runs byte-identical; >0 draws from the
+    #: node's dedicated ``<name>/retry`` rng stream).
+    retry_jitter: float = 0.0
+    #: Backoff between failed calibration-sample attempts (0 = retry
+    #: immediately, the paper's behaviour). Under TA outages this is what
+    #: keeps a recalibrating node from hammering a dead server.
+    calibration_retry_backoff_ns: int = 0
+    #: Total TA-fetch attempts before the node gives up and parks dark
+    #: (None = never, the paper's behaviour). The bounded no-retry
+    #: baseline of the fault experiments sets this low; a parked node
+    #: stays TAINTED forever and trips the oracle's recovery invariant.
+    ta_fetch_attempt_budget: Optional[int] = None
     #: Whether the INC monitoring thread runs.
     monitor_enabled: bool = True
     #: TSC window per INC measurement.
@@ -116,6 +148,10 @@ class NodeStats:
     monitor_alert_times_ns: list[int] = field(default_factory=list)
     ta_fetch_failures: int = 0
     ta_fetch_backoffs: int = 0
+    #: Enclave crashes injected by the fault plane.
+    crashes: int = 0
+    #: Times the bounded-retry baseline exhausted its budget and parked.
+    parks: int = 0
     timestamps_served: int = 0
     peer_requests_served: int = 0
     peer_requests_ignored_tainted: int = 0
@@ -174,6 +210,11 @@ class TriadNode:
         self._gathers: dict[int, tuple[list[tuple[str, PeerTimeResponse]], Event, int]] = {}
         self._wake_event: Optional[Event] = None
         self._phase: Optional[NodeState] = None  # FULL_CALIB / REF_CALIB while active
+        #: Lazily created jitter stream (only when retry_jitter > 0, so
+        #: legacy configurations never touch it and stay byte-identical).
+        self._retry_rng = None
+        #: Set when the bounded-retry baseline gave up (see NodeParked).
+        self.parked = False
 
         #: A dormant node is fully wired (endpoint, keys, clock) but runs
         #: no threads until :meth:`activate` — how cluster churn models a
@@ -205,6 +246,36 @@ class TriadNode:
             self.monitor_process = sim.process(self._monitor_loop(), name=f"{self.name}/monitor")
         else:
             self.monitor_process = None
+
+    def crash(self, cause: str = "fault-injection") -> None:
+        """Tear the enclave down with full TEE state loss (no-op if down).
+
+        Every thread is interrupted with :data:`CRASH_CAUSE` and returns;
+        the AEX handler is unsubscribed; all in-flight correlation state,
+        monitor state, and the trusted clock's calibration are gone. The
+        next :meth:`activate` is a cold boot — initial FullCalib from
+        nothing, exactly like a node constructed live.
+        """
+        if self.message_process is None:
+            return
+        for process in (self.message_process, self.main_process, self.monitor_process):
+            if process is not None and process.is_alive:
+                process.interrupt(CRASH_CAUSE)
+        self.machine.port(self.core_index).unsubscribe(self._on_aex)
+        self.message_process = None
+        self.main_process = None
+        self.monitor_process = None
+        self._pending.clear()
+        self._gathers.clear()
+        self._wake_event = None
+        self._monitor_alert = False
+        self._monitor_calibration = None
+        self._phase = None
+        self.parked = False
+        self.clock.reset()
+        self.stats.crashes += 1
+        self._probe("crash", cause=cause)
+        self._set_state()
 
     # -- identity & client API ----------------------------------------------------
 
@@ -305,6 +376,18 @@ class TriadNode:
     # -- main protocol loop -----------------------------------------------------------
 
     def _main_loop(self):
+        try:
+            yield from self._run_main()
+        except Interrupt as interrupt:
+            if interrupt.cause == CRASH_CAUSE:
+                return  # enclave torn down by TriadNode.crash
+            raise
+        except NodeParked:
+            # Bounded-retry baseline gave up: the node stays dark. State
+            # was already recorded by the phase teardown on the way out.
+            return
+
+    def _run_main(self):
         yield from self._full_calibration()
         while True:
             if self._monitor_alert:
@@ -386,22 +469,58 @@ class TriadNode:
         response = waiter.value
         return response, tsc_before, tsc_after
 
+    def _retry_backoff_ns(self, backoff_index: int, base_ns: Optional[int] = None) -> int:
+        """One backoff interval: exponential growth, capped, with jitter.
+
+        ``backoff_index`` counts from 1 (first backoff). With the default
+        ``retry_backoff_factor=1.0`` / ``retry_jitter=0.0`` this is the
+        fixed base backoff of the paper's implementation; the
+        fault-recovery configuration turns on growth and jitter to
+        desynchronise a cluster hammering a TA that just came back.
+        """
+        config = self.config
+        backoff = config.ta_retry_backoff_ns if base_ns is None else base_ns
+        if config.retry_backoff_factor != 1.0:
+            backoff = min(
+                int(backoff * config.retry_backoff_factor ** (backoff_index - 1)),
+                config.retry_backoff_max_ns,
+            )
+        if config.retry_jitter > 0.0:
+            if self._retry_rng is None:
+                self._retry_rng = self.sim.rng.stream(f"{self.name}/retry")
+            backoff = int(backoff * (1.0 + config.retry_jitter * self._retry_rng.random()))
+        return max(backoff, 1)
+
     def _fetch_reference(self):
         """Obtain and adopt a TA reference timestamp (retrying forever).
 
         The adopted reference is the TA's transmit time advanced by half
         the network roundtrip (measured via the calibrated clock), the
         standard symmetric-delay correction. After ``ta_retry_limit``
-        consecutive failures the node backs off between attempts; it never
-        gives up — an attacker black-holing the TA costs availability (the
-        node stays unable to serve), never correctness.
+        consecutive failures the node backs off between attempts; by
+        default it never gives up — an attacker black-holing the TA costs
+        availability (the node stays unable to serve), never correctness.
+        With ``ta_fetch_attempt_budget`` set (the bounded-retry baseline)
+        exhaustion parks the node dark via :class:`NodeParked` instead.
         """
         attempt = 0
+        budget = self.config.ta_fetch_attempt_budget
         while True:
             attempt += 1
+            if budget is not None and attempt > budget:
+                self.parked = True
+                self.stats.parks += 1
+                self._probe("retry", phase="park", attempt=attempt, backoff_ns=0)
+                raise NodeParked(
+                    f"{self.name}: TA fetch budget of {budget} attempts exhausted"
+                )
             if attempt > self.config.ta_retry_limit:
+                backoff_ns = self._retry_backoff_ns(attempt - self.config.ta_retry_limit)
                 self.stats.ta_fetch_backoffs += 1
-                yield self.sim.timeout(self.config.ta_retry_backoff_ns)
+                self._probe(
+                    "retry", phase="ta-fetch", attempt=attempt, backoff_ns=backoff_ns
+                )
+                yield self.sim.timeout(backoff_ns)
             result = yield from self._ta_exchange(sleep_ns=0)
             if result is None:
                 self.stats.ta_fetch_failures += 1
@@ -461,11 +580,29 @@ class TriadNode:
         return samples
 
     def _one_calibration_sample(self, sleep_ns: int):
-        for _attempt in range(self.config.calibration_max_attempts):
+        backoffs = 0
+        for attempt in range(1, self.config.calibration_max_attempts + 1):
             aex_before = self.stats.aex_count
             result = yield from self._ta_exchange(sleep_ns)
             if result is None:
+                # The TA did not answer. With a calibration backoff
+                # configured (the fault-recovery mode) the node waits
+                # before retrying rather than hammering a dead server;
+                # AEX-voided samples below retry immediately — the TA is
+                # fine, the sample just was not execution-bounded.
                 self.stats.calibration_samples_discarded += 1
+                if self.config.calibration_retry_backoff_ns > 0:
+                    backoffs += 1
+                    backoff_ns = self._retry_backoff_ns(
+                        backoffs, base_ns=self.config.calibration_retry_backoff_ns
+                    )
+                    self._probe(
+                        "retry",
+                        phase="calibration",
+                        attempt=attempt,
+                        backoff_ns=backoff_ns,
+                    )
+                    yield self.sim.timeout(backoff_ns)
                 continue
             if self.stats.aex_count != aex_before:
                 # The exchange was not bounded by continuous execution: an
@@ -474,6 +611,18 @@ class TriadNode:
                 continue
             response, tsc_before, tsc_after = result
             return CalibrationSample(sleep_ns=sleep_ns, tsc_increment=tsc_after - tsc_before)
+        if self.config.ta_fetch_attempt_budget is not None:
+            self.parked = True
+            self.stats.parks += 1
+            self._probe(
+                "retry",
+                phase="park",
+                attempt=self.config.calibration_max_attempts,
+                backoff_ns=0,
+            )
+            raise NodeParked(
+                f"{self.name}: calibration attempt budget exhausted (sleep={sleep_ns}ns)"
+            )
         raise CalibrationError(
             f"{self.name}: could not obtain an AEX-free calibration sample "
             f"(sleep={sleep_ns}ns) in {self.config.calibration_max_attempts} attempts"
@@ -482,6 +631,14 @@ class TriadNode:
     # -- message loop -------------------------------------------------------------------------------
 
     def _message_loop(self):
+        try:
+            yield from self._run_messages()
+        except Interrupt as interrupt:
+            if interrupt.cause == CRASH_CAUSE:
+                return
+            raise
+
+    def _run_messages(self):
         while True:
             envelope = yield self.endpoint.recv()
             message = envelope.message
@@ -507,6 +664,14 @@ class TriadNode:
     # -- monitor loop ---------------------------------------------------------------------------------
 
     def _monitor_loop(self):
+        try:
+            yield from self._run_monitor()
+        except Interrupt as interrupt:
+            if interrupt.cause == CRASH_CAUSE:
+                return
+            raise
+
+    def _run_monitor(self):
         deviating_streak = 0
         anchored_against = None  # calibration the continuity anchor is valid for
         while True:

@@ -36,7 +36,15 @@ from repro.errors import ConfigurationError
 #:   tuples ``(node_state, taint-cause, calibration-phase, verdict)``
 #:   the search engine's fitness is guided by;
 #: * ``membership`` — the membership engine flipped this node's verdict
-#:   (``data: verdict``/``previous``, :mod:`repro.membership` values).
+#:   (``data: verdict``/``previous``, :mod:`repro.membership` values);
+#: * ``retry`` — a bounded retry loop backed off before its next attempt
+#:   (``data: phase`` (``"ta-fetch"``/``"calibration"``), ``attempt``,
+#:   ``backoff_ns``). The recovery telemetry of :mod:`repro.faults`:
+#:   per-node retry pressure during TA outages and crash recalibration;
+#: * ``crash`` — the node's enclave was torn down (``data: cause``,
+#:   e.g. ``"fault-injection"``). Full TEE state loss: all calibration,
+#:   monitor, and message state is gone; the next ``activate()`` is a
+#:   cold boot.
 PROBE_KINDS = (
     "serve",
     "untaint",
@@ -45,6 +53,8 @@ PROBE_KINDS = (
     "monitor-alert",
     "taint",
     "membership",
+    "retry",
+    "crash",
 )
 
 ProbeCallback = Callable[["ProbeEvent"], None]

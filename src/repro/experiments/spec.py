@@ -116,6 +116,12 @@ SCHEDULE_PRIMITIVES = {
     "ta-blackhole": (set(), {"duration_ms", "victims"}),
     # On-path F+/F- calibration delay against one victim.
     "net-delay": ({"victim", "mode"}, {"delay_ms", "duration_ms"}),
+    # Crash a node's enclave (full TEE state loss); restart after down_ms.
+    "node-crash": ({"node"}, {"down_ms"}),
+    # Take the primary TA offline for the window.
+    "ta-outage": ({"duration_ms"}, set()),
+    # Cut one node off from the rest of the fabric for the window.
+    "partition": ({"node"}, {"duration_ms"}),
 }
 
 _SCHEDULE_ENTRY_KEYS = {"t_ns", "primitive", "params"}
@@ -135,6 +141,7 @@ _SPEC_KEYS = {
     "service",
     "membership",
     "churn",
+    "faults",
 }
 
 _CHURN_KEYS = {"absent", "schedule"}
@@ -171,6 +178,12 @@ class ExperimentSpec:
     #: Churn block: ``{"absent": [...], "schedule": [{"t_s", "node",
     #: "action"}]}`` — deterministic join/leave/rejoin over the run.
     churn: Optional[dict[str, Any]] = None
+    #: Fault-injection block (see :class:`repro.faults.FaultPlan`):
+    #: ``{"schedule": [{"t_s", "kind", ...}], "recovery_deadline_s",
+    #: "retry": {...}}`` — deterministic crash/restart, TA outages,
+    #: partitions and loss bursts, plus the recovery contract the oracle
+    #: judges after the last fault heals.
+    faults: Optional[dict[str, Any]] = None
 
     # -- construction & validation -------------------------------------------
 
@@ -201,6 +214,8 @@ class ExperimentSpec:
             self._validate_membership(self.membership)
         if self.churn is not None:
             self._validate_churn(self.churn)
+        if self.faults is not None:
+            self._fault_plan()
 
     def _validate_membership(self, raw: dict[str, Any]) -> None:
         # Imported here for the same layering reason as the service block.
@@ -302,6 +317,18 @@ class ExperimentSpec:
             ),
         )
 
+    def _fault_plan(self):
+        """Validate (and compile) the ``faults`` block against this spec."""
+        # Imported here for the same layering reason as the service block.
+        from repro.faults import FaultPlan
+
+        return FaultPlan.from_spec(
+            self.faults,
+            nodes=self.nodes,
+            ta_count=self.ta_count,
+            duration_s=self.duration_s,
+        )
+
     def _validate_service(self, raw: dict[str, Any]) -> None:
         # Imported here: repro.service pulls in the experiment runner,
         # which this module's import graph already sits on top of.
@@ -396,6 +423,10 @@ class ExperimentSpec:
             raise ConfigurationError(
                 f"{where}: duration_ms must be positive, got {params['duration_ms']!r}"
             )
+        if "down_ms" in params and not float(params["down_ms"]) > 0:
+            raise ConfigurationError(
+                f"{where}: down_ms must be positive, got {params['down_ms']!r}"
+            )
         for key in ("victim", "node"):
             if key in params:
                 value = int(params[key])
@@ -452,6 +483,7 @@ class ExperimentSpec:
                 "service": self.service,
                 "membership": self.membership,
                 "churn": self.churn,
+                "faults": self.faults,
             },
             indent=2,
         )
@@ -529,6 +561,10 @@ class ExperimentSpec:
             MembershipController.attach(
                 experiment, config=MembershipConfig.from_dict(raw), mode=mode
             )
+        if self.faults is not None:
+            from repro.faults import apply_fault_plan
+
+            apply_fault_plan(experiment, self._fault_plan())
         return experiment
 
     def _apply_churn(self, experiment: Experiment) -> None:
@@ -697,6 +733,41 @@ class ExperimentSpec:
             at(sim, t_ns, adversary.enable, name=f"{tag}-start")
             if stop_ns is not None:
                 at(sim, stop_ns, adversary.disable, name=f"{tag}-stop")
+        elif primitive == "node-crash":
+            index = int(params["node"])
+            down_ns = max(int(float(params.get("down_ms", 500)) * MILLISECOND), 1)
+
+            def crash(cluster=cluster, index=index):
+                cluster.crash_node(index)
+
+            def restart(cluster=cluster, index=index):
+                cluster.restart_node(index)
+
+            at(sim, t_ns, crash, name=f"{tag}-node{index}")
+            at(sim, t_ns + down_ns, restart, name=f"{tag}-restart-node{index}")
+        elif primitive == "ta-outage":
+
+            def ta_down(cluster=cluster):
+                cluster.set_ta_down(True)
+
+            def ta_up(cluster=cluster):
+                cluster.set_ta_down(False)
+
+            at(sim, t_ns, ta_down, name=f"{tag}-down")
+            if stop_ns is not None:
+                at(sim, stop_ns, ta_up, name=f"{tag}-up")
+        elif primitive == "partition":
+            index = int(params["node"])
+
+            def cut(cluster=cluster, tag=tag, index=index):
+                cluster.open_partition(tag, [index])
+
+            def heal(cluster=cluster, tag=tag):
+                cluster.heal_partition(tag)
+
+            at(sim, t_ns, cut, name=f"{tag}-open")
+            if stop_ns is not None:
+                at(sim, stop_ns, heal, name=f"{tag}-heal")
 
     @staticmethod
     def _ensure_schedule_source(cluster, index: int):

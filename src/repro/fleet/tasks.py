@@ -333,6 +333,38 @@ def _run_membership(task: RunTask) -> dict:
     }
 
 
+@register_runner("faults")
+def _run_faults(task: RunTask) -> dict:
+    """Execute a fault-injection spec and report recovery/MTTR."""
+    from repro.experiments.spec import ExperimentSpec
+    from repro.faults import FaultPlan, recovery_report, render_recovery_report
+
+    spec = ExperimentSpec.from_dict(dict(task.payload["spec"]))
+    if spec.faults is None:
+        raise FleetError(
+            f"faults task {task.name!r} needs a spec with a 'faults' block"
+        )
+    experiment = spec.run()
+    plan = FaultPlan.from_spec(
+        spec.faults,
+        nodes=spec.nodes,
+        ta_count=spec.ta_count,
+        duration_s=spec.duration_s,
+    )
+    report = recovery_report(experiment, plan)
+    rendered = render_recovery_report(report)
+    if experiment.service is not None:
+        service_report = experiment.service.report()
+        report["service"] = service_report.to_dict()
+        rendered += "\n\n" + service_report.render()
+    return {
+        "spec": spec.name,
+        "report": report,
+        "rendered": rendered,
+        "sim_ns": spec.duration_ns,
+    }
+
+
 @register_runner("hunt-genome")
 def _run_hunt_genome(task: RunTask) -> dict:
     """Evaluate one attack-schedule genome (see ``repro.hunt``)."""

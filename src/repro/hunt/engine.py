@@ -122,6 +122,33 @@ def archetype_genomes(duration_ns: int, nodes: int) -> list[Genome]:
                 }
             ]
         )
+    # Fault-plane archetypes: a crash mid-run, a TA flap, and a partition
+    # landing on a node's recalibration window — the robustness corner of
+    # the search space (crash amnesty, retry storms, island drift).
+    genomes.append(
+        [
+            {
+                "t_ns": anchors[2],
+                "primitive": "node-crash",
+                "params": {"node": min(2, nodes), "down_ms": 1_000},
+            }
+        ]
+    )
+    genomes.append(
+        [
+            {"t_ns": anchors[1], "primitive": "ta-outage", "params": {"duration_ms": 3_000}},
+            {"t_ns": anchors[3], "primitive": "ta-outage", "params": {"duration_ms": 3_000}},
+        ]
+    )
+    genomes.append(
+        [
+            {
+                "t_ns": anchors[2],
+                "primitive": "partition",
+                "params": {"node": 1, "duration_ms": 5_000},
+            }
+        ]
+    )
     return [canonical(genome) for genome in genomes]
 
 

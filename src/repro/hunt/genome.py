@@ -39,6 +39,11 @@ PRIMITIVE_KINDS = (
     "aex-flood",
     "ta-blackhole",
     "net-delay",
+    # Fault-plane primitives (appended last: index order drives the
+    # rng -> genome mapping, so earlier kinds must keep their positions).
+    "node-crash",
+    "ta-outage",
+    "partition",
 )
 
 #: Hard cap on primitives per genome: schedules longer than this explore
@@ -170,6 +175,12 @@ def sample_primitive(
         }
     elif kind == "ta-blackhole":
         params = {"duration_ms": int(log_uniform(rng, 500, 20_000))}
+    elif kind == "node-crash":
+        params = {"node": node, "down_ms": int(log_uniform(rng, 100, 5_000))}
+    elif kind == "ta-outage":
+        params = {"duration_ms": int(log_uniform(rng, 500, 10_000))}
+    elif kind == "partition":
+        params = {"node": node, "duration_ms": int(log_uniform(rng, 500, 10_000))}
     else:  # net-delay
         params = {
             "victim": node,

@@ -35,6 +35,7 @@ _PARAM_BOUNDS: dict[str, tuple[float, float]] = {
     "mean_us": (1.0, 10_000_000.0),
     "delay_ms": (1.0, 1_000.0),
     "duration_ms": (1.0, 60_000.0),
+    "down_ms": (50.0, 30_000.0),
 }
 
 

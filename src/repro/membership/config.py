@@ -52,6 +52,25 @@ class MembershipConfig:
     #: Epochs spent quarantined (without reaching probation) before the
     #: node is evicted for good.
     evict_after: int = 6
+    #: Probation credit: make the eviction clock adaptive — a *dirty*
+    #: quarantined epoch ages the node toward eviction, a *clean* epoch
+    #: refunds one epoch (the clock repaired), and a *dark* epoch — the
+    #: node served nothing at all (crashed, cold-recalibrating, tainted)
+    #: — pauses it. Epochs where the node answered but the sample could
+    #: not be scored (too few member observers) run on *evidence
+    #: momentum*: the node's last scored epoch decides whether the clock
+    #: ticks, which preserves eviction of a cut-off attacker in a 3-node
+    #: cluster (quarantine itself starves the median there) without aging
+    #: a repairer whose last evidence was clean. A node repairing itself
+    #: (TA re-anchor
+    #: after adopting poisoned timestamps, or a crash-restart cold
+    #: recalibration) races ``evict_after`` from the moment it is
+    #: quarantined; with a wall-epoch clock the deadline expires while the
+    #: node is still mid-repair and it is evicted *after* it has already
+    #: fixed its clock (the 5-node false-eviction race in
+    #: docs/membership.md). A real attacker serves dirty evidence every
+    #: epoch, so its path to eviction is unchanged.
+    probation_credit: bool = True
     #: Minimum member readings a sample needs before divergence is scored
     #: — a median of two is just a midpoint and convicts nobody.
     min_observers: int = 3

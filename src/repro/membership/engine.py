@@ -93,6 +93,10 @@ class MembershipController:
         self._dirty_streak = {name: 0 for name in self._verdicts}
         self._clean_streak = {name: 0 for name in self._verdicts}
         self._quarantine_age = {name: 0 for name in self._verdicts}
+        #: Whether the node's most recent *scored* epoch was dirty — the
+        #: evidence-momentum bit the adaptive eviction clock presumes when
+        #: a quarantined node answers samples the collector cannot score.
+        self._last_dirty = {name: False for name in self._verdicts}
         self._expected: Optional[set] = None
         self._retired = False
         self.process = self.sim.process(self._run(), name="membership/engine")
@@ -171,7 +175,7 @@ class MembershipController:
             if value is None:
                 continue  # tainted/calibrating: no reading this sample
             readings[node.name] = value
-            if verdict.member:
+            if verdict.votes:
                 members.add(node.name)
         self._collector.observe(readings, members)
 
@@ -182,7 +186,11 @@ class MembershipController:
         present = set(self.cluster.present_names)
         self._sync_churn(present)
         for node in self.cluster.nodes:
-            self._transition(node.name, evidence.scores_ns.get(node.name))
+            self._transition(
+                node.name,
+                evidence.scores_ns.get(node.name),
+                responded=node.name in evidence.responders,
+            )
         self.epochs_closed += 1
         if self.mode == "enforce":
             self._rotate_epoch_key(present)
@@ -204,7 +212,9 @@ class MembershipController:
 
     # -- verdict ladder ----------------------------------------------------------
 
-    def _transition(self, name: str, score_ns: Optional[int]) -> None:
+    def _transition(
+        self, name: str, score_ns: Optional[int], responded: bool = False
+    ) -> None:
         verdict = self._verdicts[name]
         if verdict in (MembershipVerdict.ABSENT, MembershipVerdict.EVICTED):
             return
@@ -214,6 +224,10 @@ class MembershipController:
         # at all (node never served this epoch) is neutral too.
         clean = score_ns is not None and score_ns <= cfg.clear_threshold_ns
         dirty = score_ns is not None and score_ns > cfg.suspect_threshold_ns
+        if dirty:
+            self._last_dirty[name] = True
+        elif clean:
+            self._last_dirty[name] = False
 
         if verdict is MembershipVerdict.ACTIVE:
             if dirty:
@@ -231,7 +245,25 @@ class MembershipController:
                 self._dirty_streak[name] = 0
                 self._flip(name, MembershipVerdict.ACTIVE, score_ns)
         elif verdict is MembershipVerdict.QUARANTINED:
-            self._quarantine_age[name] += 1
+            if cfg.probation_credit:
+                # Adaptive eviction clock. A dirty epoch ages the node; a
+                # clean epoch refunds one (the clock repaired). Neutral
+                # epochs split on *why* there is no score: a dark node —
+                # crashed, cold-recalibrating, tainted — served nothing
+                # and convicts nobody, so the clock pauses; a node that
+                # answered samples the collector had to skip (observer-
+                # starved cluster) is judged on evidence momentum — its
+                # last scored epoch. That keeps a cut-off attacker racing
+                # the deadline in a 3-node cluster (quarantine itself
+                # starves the median there) without aging a repairer whose
+                # last evidence was clean.
+                momentum = score_ns is None and responded and self._last_dirty[name]
+                if dirty or momentum:
+                    self._quarantine_age[name] += 1
+                elif clean:
+                    self._quarantine_age[name] = max(self._quarantine_age[name] - 1, 0)
+            else:
+                self._quarantine_age[name] += 1
             if clean:
                 self._clean_streak[name] += 1
                 if self._clean_streak[name] >= cfg.probation_after:
@@ -262,6 +294,7 @@ class MembershipController:
         self._dirty_streak[name] = 0
         self._clean_streak[name] = 0
         self._quarantine_age[name] = 0
+        self._last_dirty[name] = False
 
     def _flip(
         self, name: str, verdict: MembershipVerdict, score_ns: Optional[int]

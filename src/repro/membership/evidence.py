@@ -44,6 +44,11 @@ class EpochEvidence:
     #: never produced a reading this epoch are absent from the dict — the
     #: engine treats "no evidence" as neither clean nor dirty.
     scores_ns: dict[str, int] = field(default_factory=dict)
+    #: Names that served at least one reading this epoch, scored or not.
+    #: Distinguishes a *dark* node (crashed, recalibrating, tainted — it
+    #: served nothing and convicts nobody) from one that answered samples
+    #: the collector had to skip for lack of member observers.
+    responders: frozenset[str] = frozenset()
 
 
 class EvidenceCollector:
@@ -52,6 +57,7 @@ class EvidenceCollector:
     def __init__(self, min_observers: int) -> None:
         self.min_observers = min_observers
         self._scores_ns: dict[str, int] = {}
+        self._responders: set[str] = set()
         self._scored_samples = 0
         self._skipped_samples = 0
         #: All-time peak divergence per node (survives epoch closes).
@@ -66,6 +72,7 @@ class EvidenceCollector:
         quarantined node keeps accumulating evidence (it can clear itself
         toward probation, or keep diverging toward eviction).
         """
+        self._responders |= readings.keys()
         member_readings = [
             value for name, value in readings.items() if name in member_names
         ]
@@ -89,8 +96,10 @@ class EvidenceCollector:
             scored_samples=self._scored_samples,
             skipped_samples=self._skipped_samples,
             scores_ns=dict(self._scores_ns),
+            responders=frozenset(self._responders),
         )
         self._scores_ns = {}
+        self._responders = set()
         self._scored_samples = 0
         self._skipped_samples = 0
         return evidence

@@ -37,6 +37,19 @@ class MembershipVerdict(Enum):
         return self in _MEMBER_VERDICTS
 
     @property
+    def votes(self) -> bool:
+        """Whether this verdict's readings anchor the evidence median.
+
+        Stricter than :attr:`member`: a probation node holds the epoch
+        key but is *under observation* — its clock free-ran while it was
+        away (or poisoned while quarantined), so letting it vote would
+        drag the robust center toward the very evidence it is being
+        judged against. It is scored against the median; it does not
+        define it until readmitted.
+        """
+        return self in (MembershipVerdict.ACTIVE, MembershipVerdict.SUSPECT)
+
+    @property
     def scored(self) -> bool:
         """Whether the engine still samples evidence for this verdict."""
         return self not in (MembershipVerdict.EVICTED, MembershipVerdict.ABSENT)

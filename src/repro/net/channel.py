@@ -28,6 +28,11 @@ from repro.sim.events import Event
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Simulator
 
+#: Capacity of the :attr:`Network.dropped` ring. Large enough to inspect
+#: recent loss in any test or post-mortem, small enough that a multi-hour
+#: loss-burst campaign stays O(1) in memory.
+DROPPED_RING_SIZE = 1024
+
 
 class Socket:
     """An endpoint bound to an address; supports send and event-based recv."""
@@ -89,11 +94,21 @@ class Network:
         #: addressed to it is dropped at delivery time, so messages
         #: in flight when the host leaves are lost too.
         self._down_hosts: set[str] = set()
+        #: Named partitions (fault injection): partition name -> the
+        #: island's host set. A datagram is dropped when any active
+        #: partition separates its endpoints — one inside the island, the
+        #: other outside. Hosts inside the same island still talk.
+        self._partitions: dict[str, frozenset[str]] = {}
         self._rng = sim.rng.stream("network")
         #: All datagrams ever sent (kept for analysis; sizes stay modest in
         #: the paper's experiments — a handful of messages per AEX).
         self.log: list[Datagram] = []
-        self.dropped: list[Datagram] = []
+        #: The most recent drops, bounded so loss-burst and DoS campaigns
+        #: cannot grow memory without limit; ``dropped_count`` keeps the
+        #: full tally and ``drop_counts`` the per-reason breakdown.
+        self.dropped: deque[Datagram] = deque(maxlen=DROPPED_RING_SIZE)
+        self.dropped_count = 0
+        self.drop_counts: dict[str, int] = {}
 
     # -- topology -----------------------------------------------------------
 
@@ -129,7 +144,48 @@ class Network:
         """Whether ``host`` is currently detached."""
         return host in self._down_hosts
 
+    def partition(self, name: str, island: "set[str] | frozenset[str] | list[str]") -> None:
+        """Open a named partition isolating ``island`` from everyone else.
+
+        Hosts inside the island keep talking to each other; any datagram
+        with exactly one endpoint inside is dropped — including datagrams
+        already in flight when the partition forms (the fabric models a
+        cable pull, not a polite connection close). Multiple named
+        partitions compose; each is removed by :meth:`heal`.
+        """
+        if name in self._partitions:
+            raise ConfigurationError(f"partition {name!r} already active")
+        hosts = frozenset(island)
+        if not hosts:
+            raise ConfigurationError(f"partition {name!r} needs at least one host")
+        self._partitions[name] = hosts
+
+    def heal(self, name: str) -> None:
+        """Remove the named partition; unknown names are a configuration bug."""
+        if name not in self._partitions:
+            raise ConfigurationError(f"no active partition named {name!r}")
+        del self._partitions[name]
+
+    def partitioned(self, source_host: str, destination_host: str) -> bool:
+        """Whether any active partition separates the two hosts."""
+        for island in self._partitions.values():
+            if (source_host in island) != (destination_host in island):
+                return True
+        return False
+
     # -- data plane ----------------------------------------------------------
+
+    def set_drop_probability(self, probability: float) -> None:
+        """Change the uniform loss rate at runtime (fault loss bursts)."""
+        if not 0.0 <= probability < 1.0:
+            raise ConfigurationError(f"drop probability must be in [0,1), got {probability}")
+        self.drop_probability = probability
+
+    def _drop(self, datagram: Datagram, reason: str) -> None:
+        """Record a dropped datagram: total count, per-reason, recent ring."""
+        self.dropped_count += 1
+        self.drop_counts[reason] = self.drop_counts.get(reason, 0) + 1
+        self.dropped.append(datagram)
 
     def send(self, source: Address, destination: Address, payload: bytes) -> Datagram:
         """Inject a datagram; delivery (if any) is scheduled asynchronously."""
@@ -144,7 +200,11 @@ class Network:
         if self._down_hosts and (
             source.host in self._down_hosts or destination.host in self._down_hosts
         ):
-            self.dropped.append(datagram)
+            self._drop(datagram, "host-down")
+            return datagram
+
+        if self._partitions and self.partitioned(source.host, destination.host):
+            self._drop(datagram, "partition")
             return datagram
 
         delay_model = self._link_delays.get(
@@ -153,13 +213,13 @@ class Network:
         delay_ns = delay_model.sample(self._rng)
 
         if self.drop_probability and self._rng.random() < self.drop_probability:
-            self.dropped.append(datagram)
+            self._drop(datagram, "loss")
             return datagram
 
         for adversary in self._adversaries:
             interference = adversary.observe(datagram)
             if interference.drop:
-                self.dropped.append(datagram)
+                self._drop(datagram, "adversary")
                 return datagram
             delay_ns += interference.extra_delay_ns
 
@@ -171,12 +231,18 @@ class Network:
         datagram: Datagram = event.value
         if self._down_hosts and datagram.destination.host in self._down_hosts:
             # The destination left while this datagram was in flight.
-            self.dropped.append(datagram)
+            self._drop(datagram, "host-down")
+            return
+        if self._partitions and self.partitioned(
+            datagram.source.host, datagram.destination.host
+        ):
+            # A partition formed while this datagram was in flight.
+            self._drop(datagram, "partition")
             return
         socket = self._sockets.get(datagram.destination)
         if socket is None:
             # Destination not bound: UDP silently discards. Record it so
             # experiments can notice misconfiguration.
-            self.dropped.append(datagram)
+            self._drop(datagram, "unbound")
             return
         socket._deliver(datagram)

@@ -22,6 +22,7 @@ INVARIANTS = (
     "freshness",
     "untaint-safety",
     "state-soundness",
+    "recovery",
 )
 
 #: Severity per invariant. ``critical`` invariants are protocol guarantees
@@ -34,6 +35,7 @@ SEVERITIES = {
     "drift-bound": "error",
     "untaint-safety": "error",
     "freshness": "warning",
+    "recovery": "error",
 }
 
 #: Fitness weight per severity class — the oracle's hook into the attack

@@ -72,6 +72,20 @@ class ServiceConfig:
     #: calibration leaves behind (tens to ~200 ppm). Attack drift is
     #: 1000× larger, so the widening does not weaken quorum containment.
     rtt_margin_us: float = 250.0
+    #: Degraded-mode sync: when *fewer sources than the configured
+    #: fan-out* respond (dark nodes — crashed, tainted, partitioned), a
+    #: majority of the responders is accepted instead of refusing, with
+    #: every contributing interval widened by this factor (>= 1) so the
+    #: lower confidence is explicit. Disagreement among a *full* quorum is
+    #: still refused — degradation never masks an outvoted attacker.
+    #: 0 disables (legacy refuse-on-minority behaviour).
+    degraded_margin_factor: float = 0.0
+    #: Per-source circuit breaker: consecutive unavailable polls before
+    #: the source is skipped from fan-outs. 0 disables.
+    breaker_threshold: int = 0
+    #: How long an open breaker skips its source before the half-open
+    #: retry probes it again.
+    breaker_cooldown_ms: float = 2000.0
 
     def __post_init__(self) -> None:
         self._require(self.sessions >= 1, "sessions", "need at least one session")
@@ -108,6 +122,17 @@ class ServiceConfig:
         )
         self._require(self.start_s >= 0, "start_s", "must be non-negative")
         self._require(self.rtt_margin_us >= 0, "rtt_margin_us", "must be non-negative")
+        self._require(
+            self.degraded_margin_factor == 0 or self.degraded_margin_factor >= 1,
+            "degraded_margin_factor",
+            "must be 0 (disabled) or >= 1",
+        )
+        self._require(
+            self.breaker_threshold >= 0, "breaker_threshold", "must be non-negative"
+        )
+        self._require(
+            self.breaker_cooldown_ms > 0, "breaker_cooldown_ms", "must be positive"
+        )
 
     @staticmethod
     def _require(condition: bool, key: str, message: str) -> None:
@@ -147,6 +172,10 @@ class ServiceConfig:
     @property
     def rtt_margin_ns(self) -> int:
         return int(self.rtt_margin_us * MICROSECOND)
+
+    @property
+    def breaker_cooldown_ns(self) -> int:
+        return max(int(self.breaker_cooldown_ms * MILLISECOND), 1)
 
     # -- serialization ----------------------------------------------------------
 

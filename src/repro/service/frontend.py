@@ -197,7 +197,14 @@ class FrontEnd:
             self.metrics.record_refused(kinds_tuple)
         else:
             error_ns = estimate - true_now_ns
-            self.metrics.record_served(kinds_tuple, error_ns, self.lease_guard_ns)
+            # getattr: tests drive front-ends with scripted quorum stubs
+            # that only implement estimate().
+            self.metrics.record_served(
+                kinds_tuple,
+                error_ns,
+                self.lease_guard_ns,
+                degraded=getattr(self.quorum_client, "anchor_degraded", False),
+            )
         self.workload.absorb(drained_total)
 
     def _estimate(self) -> Optional[int]:

@@ -38,6 +38,9 @@ class FrontEndMetrics:
     expired: list[int] = field(default_factory=lambda: [0, 0, 0])
     #: Requests answered "unavailable" (no quorum anchor) per kind.
     refused: list[int] = field(default_factory=lambda: [0, 0, 0])
+    #: Served requests whose anchor came from a degraded-mode sync (a
+    #: subset of ``served``): answered, but flagged lower-confidence.
+    degraded: list[int] = field(default_factory=lambda: [0, 0, 0])
     #: (abs timestamp error ns, request count) pairs, one per served tick.
     error_pairs: list[tuple[int, int]] = field(default_factory=list)
     #: (queueing delay ns, request count) pairs.
@@ -57,7 +60,11 @@ class FrontEndMetrics:
         return sum(self.served) + sum(self.shed) + sum(self.expired) + sum(self.refused)
 
     def record_served(
-        self, kinds: tuple[int, int, int], error_ns: int, lease_guard_ns: int
+        self,
+        kinds: tuple[int, int, int],
+        error_ns: int,
+        lease_guard_ns: int,
+        degraded: bool = False,
     ) -> None:
         """Account one tick's served batch against the anchor error."""
         count = kinds[0] + kinds[1] + kinds[2]
@@ -65,6 +72,8 @@ class FrontEndMetrics:
             return
         for index in range(3):
             self.served[index] += kinds[index]
+            if degraded:
+                self.degraded[index] += kinds[index]
         magnitude = abs(error_ns)
         self.error_pairs.append((magnitude, count))
         if error_ns < self.min_error_ns:
@@ -130,11 +139,20 @@ class ServiceReport:
     quorum_stats: dict[str, Any]
     #: Per-front-end rows: name -> summary dict.
     frontends: dict[str, dict[str, Any]]
+    #: Served requests answered off a degraded-mode anchor (subset of
+    #: ``served``): the service stayed up through a fault, with the lower
+    #: confidence made explicit instead of silently refusing.
+    degraded: int = 0
 
     @property
     def availability(self) -> float:
         """Fraction of arrived requests that were served a timestamp."""
         return _rate(self.served, self.requests)
+
+    @property
+    def degraded_rate(self) -> float:
+        """Fraction of served requests that were degraded-mode answers."""
+        return _rate(self.degraded, self.served)
 
     @property
     def shed_rate(self) -> float:
@@ -161,6 +179,8 @@ class ServiceReport:
             "shed": self.shed,
             "expired": self.expired,
             "refused": self.refused,
+            "degraded": self.degraded,
+            "degraded_rate": self.degraded_rate,
             "served_by_kind": list(self.served_by_kind),
             "availability": self.availability,
             "shed_rate": self.shed_rate,
@@ -193,6 +213,7 @@ class ServiceReport:
             ["requests", f"{self.requests}"],
             ["served", f"{self.served}"],
             ["availability", f"{self.availability:.4f}"],
+            ["degraded rate", f"{self.degraded_rate:.4f}"],
             ["shed rate", f"{self.shed_rate:.4f}"],
             ["timeout rate", f"{self.timeout_rate:.4f}"],
             ["lease violation rate", f"{self.lease_violation_rate:.4f}"],
@@ -264,6 +285,7 @@ def build_report(
     wait_pairs: list[tuple[int, int]] = []
     served_by_kind = [0, 0, 0]
     served = shed = expired = refused = lease_requests = lease_violations = 0
+    degraded = 0
     max_abs_error = 0
     frontend_rows: dict[str, dict[str, Any]] = {}
     for metrics in frontends:
@@ -275,6 +297,7 @@ def build_report(
         shed += sum(metrics.shed)
         expired += sum(metrics.expired)
         refused += sum(metrics.refused)
+        degraded += sum(metrics.degraded)
         lease_requests += metrics.served[1] + metrics.shed[1] + metrics.expired[1]
         lease_violations += metrics.lease_violations
         extreme = max(abs(metrics.min_error_ns), abs(metrics.max_error_ns))
@@ -285,6 +308,7 @@ def build_report(
             "shed": sum(metrics.shed),
             "expired": sum(metrics.expired),
             "refused": sum(metrics.refused),
+            "degraded": sum(metrics.degraded),
             "error_p50_ns": metrics.error_percentile_ns(0.50),
             "error_p99_ns": metrics.error_percentile_ns(0.99),
             "lease_violations": metrics.lease_violations,
@@ -317,4 +341,5 @@ def build_report(
         requests_per_sim_s=round(requests * SECOND / duration_ns, 3),
         quorum_stats=quorum_stats,
         frontends=frontend_rows,
+        degraded=degraded,
     )

@@ -85,6 +85,11 @@ class TimeService:
                 delay_model=delay_model,
                 staleness_ns=config.anchor_staleness_ns,
                 margin_ns=config.rtt_margin_ns,
+                degraded_margin_factor=config.degraded_margin_factor,
+                breaker_threshold=config.breaker_threshold,
+                breaker_cooldown_ns=(
+                    config.breaker_cooldown_ns if config.breaker_threshold else 0
+                ),
             )
             self.frontends.append(
                 FrontEnd(
@@ -157,22 +162,32 @@ def _share_rate(rate: float, parts: int, index: int) -> float:
 
 def _merge_quorum_stats(frontends: list[FrontEnd]) -> dict:
     """Cluster-wide quorum counters, plus out-voted counts per source."""
-    syncs = failures = votes = 0
+    syncs = failures = degraded = votes = 0
     unavailable: dict[str, int] = {}
     outvoted: dict[str, int] = {}
+    breaker_opens: dict[str, int] = {}
+    breaker_skips: dict[str, int] = {}
     for frontend in frontends:
         stats = frontend.quorum_client.stats
         syncs += stats.syncs
         failures += stats.sync_failures
+        degraded += stats.degraded_syncs
         votes += stats.votes_total
         for name, count in stats.unavailable.items():
             unavailable[name] = unavailable.get(name, 0) + count
         for name, count in stats.outvoted.items():
             outvoted[name] = outvoted.get(name, 0) + count
+        for name, count in stats.breaker_opens.items():
+            breaker_opens[name] = breaker_opens.get(name, 0) + count
+        for name, count in stats.breaker_skips.items():
+            breaker_skips[name] = breaker_skips.get(name, 0) + count
     return {
         "syncs": syncs,
         "sync_failures": failures,
+        "degraded_syncs": degraded,
         "mean_votes": round(votes / syncs, 4) if syncs else 0.0,
         "unavailable": {k: unavailable[k] for k in sorted(unavailable)},
         "outvoted": {k: outvoted[k] for k in sorted(outvoted)},
+        "breaker_opens": {k: breaker_opens[k] for k in sorted(breaker_opens)},
+        "breaker_skips": {k: breaker_skips[k] for k in sorted(breaker_skips)},
     }

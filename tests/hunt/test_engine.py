@@ -137,10 +137,33 @@ class TestSilentDriftRegression:
             assert set(finding) == {"id", "edges", "primitives", "genome_key"}
 
 
+class TestFaultPrimitives:
+    """The fault-plane alphabet (node-crash / ta-outage / partition) is
+    searchable: from the pinned seed, fault-bearing genomes reach distinct
+    protocol states and earn corpus slots within a small budget."""
+
+    def test_fault_genome_enters_corpus_from_pinned_seed(self, tmp_path):
+        report = _hunt(tmp_path, budget=16, shrink=False)
+        kinds = set()
+        for path in report.manifest_path.parent.glob("genomes/*.json"):
+            entry = json.loads(path.read_text())
+            kinds |= {item["primitive"] for item in entry["genome"]}
+        # node-crash reaches a coverage signature no classic attack hits
+        # (mid-run cold FULL_CALIB re-entry), so it holds a corpus slot.
+        # ta-outage / partition archetypes evaluate too, but their coverage
+        # collides with ta-blackhole / net-delay champions at this budget.
+        assert "node-crash" in kinds
+
+    def test_fault_archetypes_cover_new_kinds(self):
+        genomes = archetype_genomes(30 * SECOND, nodes=3)
+        kinds = {entry["primitive"] for genome in genomes for entry in genome}
+        assert {"node-crash", "ta-outage", "partition"} <= kinds
+
+
 class TestDeterminism:
     def test_same_seed_same_budget_byte_identical_manifest(self, tmp_path):
-        first = _hunt(tmp_path / "a", budget=12, population=6, shrink=False)
-        second = _hunt(tmp_path / "b", budget=12, population=6, shrink=False)
+        first = _hunt(tmp_path / "a", budget=20, population=6, shrink=False)
+        second = _hunt(tmp_path / "b", budget=20, population=6, shrink=False)
         assert first.manifest_path.read_bytes() == second.manifest_path.read_bytes()
         assert first.generations == second.generations >= 2
 

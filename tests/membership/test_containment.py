@@ -87,6 +87,73 @@ class TestObserveContrast:
             assert experiment.drift(index).max_abs_drift_ns() > DRIFT_BOUND_NS
 
 
+class TestProbationCredit:
+    """Pin the 5-node false-eviction race (docs/membership.md): node 5
+    honestly adopts the attacker's timestamps before the key cut lands, is
+    correctly-by-evidence quarantined, then *repairs itself* — here via a
+    crash-restart cold recalibration mid-quarantine. With a wall-epoch
+    eviction clock the ``evict_after`` deadline expires while the node is
+    still recalibrating (serving nothing, convicting nobody) and the
+    repaired node is evicted. Probation credit makes the clock adaptive —
+    dirty epochs age, clean epochs refund, neutral epochs pause — so the
+    honest repairer survives while the attacker's eviction is unchanged."""
+
+    def _race(self, probation_credit: bool):
+        from repro.experiments.spec import ExperimentSpec
+        from repro.oracle.policy import oracle_policy
+
+        spec = ExperimentSpec(
+            name="membership-false-eviction-race",
+            seed=6,
+            duration_s=30.0,
+            nodes=5,
+            environments={index: "triad-like" for index in range(1, 6)},
+            attacks=[
+                {"type": "fminus", "victim": 3, "delay_ms": 100},
+                {"type": "aex-onset", "nodes": [1, 2, 4, 5], "at_s": 3},
+            ],
+            membership={
+                "mode": "enforce",
+                "epoch_s": 1.0,
+                "probation_credit": probation_credit,
+            },
+            churn={
+                "schedule": [
+                    {"t_s": 20.0, "node": 4, "action": "leave"},
+                    {"t_s": 24.0, "node": 4, "action": "join"},
+                ]
+            },
+            faults={
+                "schedule": [
+                    {"t_s": 9.0, "kind": "node-crash", "node": 5, "down_ms": 500}
+                ],
+                "recovery_deadline_s": 15.0,
+                "retry": {"backoff_factor": 2.0, "jitter": 0.1, "backoff_s": 0.5},
+            },
+        )
+        with oracle_policy("warn"):
+            return spec.run()
+
+    def test_honest_repairer_survives_with_credit(self):
+        experiment = self._race(probation_credit=True)
+        report = experiment.membership.report()
+        # The attacker's path to eviction is unchanged...
+        assert report["verdicts"]["node-3"] == "evicted"
+        # ...but the honest node that crash-restarted during quarantine is
+        # not evicted: its neutral (recalibrating) epochs paused the clock.
+        assert report["verdicts"]["node-5"] != "evicted"
+        # And it genuinely repaired: cold recalibration re-anchored its
+        # clock to the authority within a few milliseconds.
+        assert abs(experiment.drift(5).final_drift_ns()) < 5 * MILLISECOND
+
+    def test_wall_clock_eviction_is_the_regression(self):
+        experiment = self._race(probation_credit=False)
+        report = experiment.membership.report()
+        # Without credit the deadline expires mid-repair — the false
+        # eviction this satellite exists to prevent.
+        assert report["verdicts"]["node-5"] == "evicted"
+
+
 class TestFalsePositives:
     @pytest.mark.parametrize("seed", [2, 3, 4])
     def test_fault_free_runs_flip_no_verdicts(self, seed):

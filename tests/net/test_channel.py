@@ -113,6 +113,20 @@ class TestDrops:
         with pytest.raises(ConfigurationError):
             Network(sim, drop_probability=1.0)
 
+    def test_dropped_ledger_is_bounded_while_counts_stay_exact(self, sim, net):
+        from repro.net.channel import DROPPED_RING_SIZE
+
+        a = net.attach(Address("a"))
+        total = DROPPED_RING_SIZE + 500
+        for _ in range(total):
+            a.send(Address("ghost"), b"void")
+        sim.run()
+        # The ring keeps only the most recent datagrams (memory bound for
+        # long loss campaigns), but the counters never lose a drop.
+        assert len(net.dropped) == DROPPED_RING_SIZE
+        assert net.dropped_count == total
+        assert sum(net.drop_counts.values()) == total
+
 
 class TestAdversaryIntegration:
     def test_adversary_sees_metadata_not_plaintext(self, sim, net):
